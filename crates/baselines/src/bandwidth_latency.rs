@@ -1,0 +1,264 @@
+//! The bandwidth-latency heuristic of Chu et al. ([5]/[19] in the paper):
+//! joining hosts pick the attached parent with the greatest *available
+//! bandwidth* (modelled as residual fan-out capacity), breaking ties by the
+//! latency of the resulting path. Hosts join in order of increasing
+//! distance from the source, modelling the natural expansion of a session.
+//!
+//! Unlike the paper's algorithms this heuristic supports *heterogeneous*
+//! capacities — each host brings its own fan-out budget — which is exactly
+//! the regime it was designed for.
+
+use omt_geom::Point;
+use omt_tree::{MulticastTree, TreeBuilder};
+
+use crate::error::BaselineError;
+use crate::greedy::check_finite;
+
+/// Builder for the bandwidth-latency heuristic.
+///
+/// # Examples
+///
+/// ```
+/// use omt_baselines::BandwidthLatency;
+/// use omt_geom::Point2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pts = vec![Point2::new([1.0, 0.0]), Point2::new([0.0, 2.0])];
+/// let tree = BandwidthLatency::uniform(2).build(Point2::ORIGIN, &pts)?;
+/// assert_eq!(tree.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BandwidthLatency {
+    source_capacity: u32,
+    capacities: Capacities,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Capacities {
+    Uniform(u32),
+    PerNode(Vec<u32>),
+}
+
+impl BandwidthLatency {
+    /// Every host (and the source) has the same fan-out capacity.
+    pub fn uniform(capacity: u32) -> Self {
+        Self {
+            source_capacity: capacity,
+            capacities: Capacities::Uniform(capacity),
+        }
+    }
+
+    /// Heterogeneous per-host capacities; `capacities[i]` is host `i`'s
+    /// fan-out budget.
+    pub fn per_node(source_capacity: u32, capacities: Vec<u32>) -> Self {
+        Self {
+            source_capacity,
+            capacities: Capacities::PerNode(capacities),
+        }
+    }
+
+    fn capacity_of(&self, i: usize) -> u32 {
+        match &self.capacities {
+            Capacities::Uniform(c) => *c,
+            Capacities::PerNode(v) => v[i],
+        }
+    }
+
+    /// Builds the tree: hosts join closest-first; each picks the parent
+    /// with maximal residual capacity, breaking ties by smallest resulting
+    /// delay.
+    ///
+    /// # Errors
+    ///
+    /// * [`BaselineError::CapacityMismatch`] if per-node capacities don't
+    ///   match the point count;
+    /// * [`BaselineError::InsufficientCapacity`] if the capacities cannot
+    ///   host all `n` hosts;
+    /// * [`BaselineError::NonFinite`] for bad coordinates.
+    pub fn build<const D: usize>(
+        &self,
+        source: Point<D>,
+        points: &[Point<D>],
+    ) -> Result<MulticastTree<D>, BaselineError> {
+        check_finite(source, points)?;
+        let n = points.len();
+        if let Capacities::PerNode(v) = &self.capacities {
+            if v.len() != n {
+                return Err(BaselineError::CapacityMismatch {
+                    capacities: v.len(),
+                    points: n,
+                });
+            }
+        }
+        // Feasibility: the source plus the n-1 cheapest-capacity hosts must
+        // be able to host n children in the worst case; a simpler sufficient
+        // and necessary condition for sequential join (closest-first) is
+        // total capacity >= n, with every prefix hostable. We check the
+        // total; prefix failures surface as a structured error below.
+        let total: u64 = u64::from(self.source_capacity)
+            + (0..n).map(|i| u64::from(self.capacity_of(i))).sum::<u64>();
+        if (total as usize) < n && n > 0 {
+            return Err(BaselineError::InsufficientCapacity { total, needed: n });
+        }
+        let mut builder = TreeBuilder::new(source, points.to_vec());
+        let mut residual: Vec<u32> = (0..n).map(|i| self.capacity_of(i)).collect();
+        let mut residual_source = self.source_capacity;
+        // Join order: increasing distance from the source.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            source
+                .distance(&points[a as usize])
+                .total_cmp(&source.distance(&points[b as usize]))
+        });
+        let mut attached: Vec<u32> = Vec::with_capacity(n);
+        for &node in &order {
+            let node = node as usize;
+            // Candidate parents: the source plus all attached hosts with
+            // residual capacity; maximize the parent's *bandwidth* — its
+            // total fan-out capacity ("maximum possible fanout" in the
+            // paper's description of the heuristic) — breaking ties by the
+            // latency of the resulting path. With uniform capacities every
+            // candidate ties and the heuristic degenerates to latency-only
+            // attachment, matching its published behaviour.
+            let mut best: Option<(u32, f64, Option<usize>)> = None;
+            if residual_source > 0 {
+                best = Some((self.source_capacity, source.distance(&points[node]), None));
+            }
+            for &a in &attached {
+                let a = a as usize;
+                if residual[a] == 0 {
+                    continue;
+                }
+                let bandwidth = self.capacity_of(a);
+                let delay =
+                    builder.depth_of(a).expect("attached") + points[a].distance(&points[node]);
+                let better = match &best {
+                    None => true,
+                    Some((bc, bd, _)) => bandwidth > *bc || (bandwidth == *bc && delay < *bd),
+                };
+                if better {
+                    best = Some((bandwidth, delay, Some(a)));
+                }
+            }
+            match best {
+                Some((_, _, None)) => {
+                    builder.attach_to_source(node).expect("source has capacity");
+                    residual_source -= 1;
+                }
+                Some((_, _, Some(p))) => {
+                    builder.attach(node, p).expect("parent has capacity");
+                    residual[p] -= 1;
+                }
+                None => {
+                    return Err(BaselineError::InsufficientCapacity { total, needed: n });
+                }
+            }
+            attached.push(node as u32);
+        }
+        Ok(builder.finish().expect("all nodes attached"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{Disk, Point2, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Disk::unit().sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn uniform_capacity_valid_tree() {
+        for n in [1usize, 2, 50, 400] {
+            let pts = disk_points(n, n as u64);
+            let t = BandwidthLatency::uniform(3)
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(t.len(), n);
+            t.validate(Some(3)).unwrap();
+        }
+    }
+
+    #[test]
+    fn heterogeneous_capacities_respected() {
+        let pts = disk_points(60, 7);
+        let caps: Vec<u32> = (0..60).map(|i| (i % 4) as u32).collect();
+        let t = BandwidthLatency::per_node(4, caps.clone())
+            .build(Point2::ORIGIN, &pts)
+            .unwrap();
+        t.validate(None).unwrap();
+        assert!(t.source_out_degree() <= 4);
+        for (i, &cap) in caps.iter().enumerate() {
+            assert!(
+                t.out_degree(i) <= cap,
+                "node {i}: degree {} > capacity {cap}",
+                t.out_degree(i)
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_mismatch_rejected() {
+        let pts = disk_points(5, 1);
+        assert!(matches!(
+            BandwidthLatency::per_node(2, vec![1, 1]).build(Point2::ORIGIN, &pts),
+            Err(BaselineError::CapacityMismatch {
+                capacities: 2,
+                points: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn insufficient_capacity_rejected() {
+        let pts = disk_points(10, 2);
+        assert!(matches!(
+            BandwidthLatency::per_node(1, vec![0; 10]).build(Point2::ORIGIN, &pts),
+            Err(BaselineError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn prefers_high_capacity_parents() {
+        // One host with huge capacity near the source should adopt most
+        // late joiners.
+        let mut pts = vec![Point2::new([0.1, 0.0])];
+        pts.extend(
+            disk_points(30, 3)
+                .iter()
+                .map(|p| *p + Point2::new([2.0, 0.0])),
+        );
+        let mut caps = vec![100u32];
+        caps.extend(vec![1u32; 30]);
+        let t = BandwidthLatency::per_node(1, caps)
+            .build(Point2::ORIGIN, &pts)
+            .unwrap();
+        // Node 0 joins first (closest) and takes the source's only slot;
+        // joiners then prefer it while its residual stays highest.
+        assert!(t.out_degree(0) >= 10, "degree {}", t.out_degree(0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = BandwidthLatency::uniform(2)
+            .build::<2>(Point2::ORIGIN, &[])
+            .unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn closest_first_join_order_means_sorted_depths_roughly() {
+        // Sanity: a valid tree with every node reachable.
+        let pts = disk_points(100, 11);
+        let t = BandwidthLatency::uniform(2)
+            .build(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert!(t.radius() >= pts.iter().map(|p| p.norm()).fold(0.0, f64::max) - 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by the baseline builders.
+
+use core::fmt;
+
+/// Errors raised by the baseline tree builders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The out-degree budget is too small for the algorithm.
+    DegreeTooSmall {
+        /// The requested budget.
+        got: u32,
+        /// The smallest supported budget.
+        min: u32,
+    },
+    /// A coordinate is NaN or infinite (`index: None` = the source).
+    NonFinite {
+        /// Index of the offending point, or `None` for the source.
+        index: Option<usize>,
+    },
+    /// Per-node capacities don't match the point count.
+    CapacityMismatch {
+        /// Number of capacities supplied.
+        capacities: usize,
+        /// Number of points.
+        points: usize,
+    },
+    /// The per-node capacities cannot host every node (total capacity,
+    /// counting the source, is below `n`).
+    InsufficientCapacity {
+        /// Sum of usable capacities.
+        total: u64,
+        /// Number of nodes to attach.
+        needed: usize,
+    },
+    /// The instance is too large for the exact solver.
+    TooLargeForExact {
+        /// The instance size.
+        n: usize,
+        /// The solver's hard cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DegreeTooSmall { got, min } => {
+                write!(f, "out-degree budget {got} is below the minimum {min}")
+            }
+            Self::NonFinite { index: Some(i) } => {
+                write!(f, "point {i} has a non-finite coordinate")
+            }
+            Self::NonFinite { index: None } => write!(f, "source has a non-finite coordinate"),
+            Self::CapacityMismatch { capacities, points } => {
+                write!(f, "{capacities} capacities supplied for {points} points")
+            }
+            Self::InsufficientCapacity { total, needed } => {
+                write!(f, "total capacity {total} cannot host {needed} nodes")
+            }
+            Self::TooLargeForExact { n, max } => {
+                write!(f, "instance size {n} exceeds the exact solver cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        for e in [
+            BaselineError::DegreeTooSmall { got: 0, min: 1 },
+            BaselineError::NonFinite { index: Some(2) },
+            BaselineError::NonFinite { index: None },
+            BaselineError::CapacityMismatch {
+                capacities: 3,
+                points: 5,
+            },
+            BaselineError::InsufficientCapacity {
+                total: 2,
+                needed: 9,
+            },
+            BaselineError::TooLargeForExact { n: 20, max: 9 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

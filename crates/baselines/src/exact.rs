@@ -1,0 +1,341 @@
+//! Exact minimum-radius degree-constrained spanning tree by exhaustive
+//! enumeration of parent functions, for tiny instances.
+//!
+//! The problem is NP-hard in general (Malouch et al., reference [11] of the
+//! paper), so this solver is strictly a test oracle: it certifies the
+//! constant-factor claims of Theorem 1 and lets the experiment suite report
+//! true approximation ratios on small instances. The search enumerates
+//! every assignment `parent: node → {source} ∪ nodes`, pruning on degree
+//! violations and on a radius lower bound, and validates acyclicity at the
+//! leaves. Complexity is `O((n+1)^n)`; the hard cap is `n ≤ 9`.
+
+use omt_geom::Point;
+use omt_tree::{MulticastTree, TreeBuilder};
+
+use crate::error::BaselineError;
+use crate::greedy::check_finite;
+
+/// Hard cap on the instance size accepted by [`exact_tree`].
+pub const EXACT_MAX_N: usize = 9;
+
+/// Computes an exact minimum-radius tree with out-degree at most
+/// `max_out_degree`.
+///
+/// Returns the optimal tree; its [`radius`](MulticastTree::radius) is the
+/// optimum.
+///
+/// # Errors
+///
+/// * [`BaselineError::TooLargeForExact`] if `points.len() > EXACT_MAX_N`;
+/// * [`BaselineError::DegreeTooSmall`] if `max_out_degree == 0` with a
+///   nonempty input;
+/// * [`BaselineError::NonFinite`] for bad coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use omt_baselines::exact_tree;
+/// use omt_geom::Point2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pts = vec![Point2::new([1.0, 0.0]), Point2::new([2.0, 0.0])];
+/// let opt = exact_tree(Point2::ORIGIN, &pts, 1)?;
+/// // Chain through the nearer point: radius 2.
+/// assert_eq!(opt.radius(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_tree<const D: usize>(
+    source: Point<D>,
+    points: &[Point<D>],
+    max_out_degree: u32,
+) -> Result<MulticastTree<D>, BaselineError> {
+    check_finite(source, points)?;
+    let n = points.len();
+    if n > EXACT_MAX_N {
+        return Err(BaselineError::TooLargeForExact {
+            n,
+            max: EXACT_MAX_N,
+        });
+    }
+    if max_out_degree == 0 && n > 0 {
+        return Err(BaselineError::DegreeTooSmall { got: 0, min: 1 });
+    }
+    if n == 0 {
+        return Ok(TreeBuilder::new(source, vec![])
+            .finish()
+            .expect("empty tree"));
+    }
+    // Distance tables. Index n = the source.
+    let dist = |a: usize, b: usize| -> f64 {
+        let pa = if a == n { source } else { points[a] };
+        let pb = if b == n { source } else { points[b] };
+        pa.distance(&pb)
+    };
+    let mut best_radius = f64::INFINITY;
+    let mut best_parent: Vec<usize> = Vec::new();
+    // parent[i] in 0..=n (n = source).
+    let mut parent = vec![n; n];
+    let mut degree = vec![0u32; n + 1];
+    // Depth-first over assignment positions with degree pruning.
+    #[allow(clippy::too_many_arguments)]
+    fn search<const D: usize>(
+        i: usize,
+        n: usize,
+        max_deg: u32,
+        dist: &impl Fn(usize, usize) -> f64,
+        parent: &mut Vec<usize>,
+        degree: &mut Vec<u32>,
+        best_radius: &mut f64,
+        best_parent: &mut Vec<usize>,
+    ) {
+        if i == n {
+            // Validate acyclicity and compute the radius.
+            if let Some(radius) = radius_of(n, parent, dist) {
+                if radius < *best_radius {
+                    *best_radius = radius;
+                    *best_parent = parent.clone();
+                }
+            }
+            return;
+        }
+        for p in 0..=n {
+            if p == i || degree[p] >= max_deg {
+                continue;
+            }
+            // Prune: any node's depth is at least its direct distance, and
+            // at least the edge into it.
+            if dist(p, i) >= *best_radius {
+                continue;
+            }
+            parent[i] = p;
+            degree[p] += 1;
+            search::<D>(
+                i + 1,
+                n,
+                max_deg,
+                dist,
+                parent,
+                degree,
+                best_radius,
+                best_parent,
+            );
+            degree[p] -= 1;
+        }
+    }
+    search::<D>(
+        0,
+        n,
+        max_out_degree,
+        &dist,
+        &mut parent,
+        &mut degree,
+        &mut best_radius,
+        &mut best_parent,
+    );
+    debug_assert!(best_radius.is_finite(), "a chain is always feasible");
+    // Materialize the winning assignment as a tree (attach in topological
+    // order by walking depths).
+    let mut builder = TreeBuilder::new(source, points.to_vec()).max_out_degree(max_out_degree);
+    let mut attached = vec![false; n];
+    let mut remaining = n;
+    while remaining > 0 {
+        let before = remaining;
+        for i in 0..n {
+            if attached[i] {
+                continue;
+            }
+            let p = best_parent[i];
+            if p == n {
+                builder.attach_to_source(i).expect("validated assignment");
+            } else if attached[p] {
+                builder.attach(i, p).expect("validated assignment");
+            } else {
+                continue;
+            }
+            attached[i] = true;
+            remaining -= 1;
+        }
+        assert!(remaining < before, "assignment contained a cycle");
+    }
+    Ok(builder.finish().expect("spanning by construction"))
+}
+
+/// Radius of a parent assignment, or `None` if it contains a cycle.
+fn radius_of(n: usize, parent: &[usize], dist: &impl Fn(usize, usize) -> f64) -> Option<f64> {
+    let mut depth = vec![f64::NAN; n];
+    let mut radius = 0.0f64;
+    for start in 0..n {
+        if !depth[start].is_nan() {
+            continue;
+        }
+        // Walk up collecting the chain; bail on cycles via a step cap.
+        let mut chain = Vec::new();
+        let mut u = start;
+        let mut steps = 0;
+        loop {
+            if u == n {
+                break;
+            }
+            if !depth[u].is_nan() {
+                break;
+            }
+            chain.push(u);
+            u = parent[u];
+            steps += 1;
+            if steps > n {
+                return None;
+            }
+        }
+        // `u` is resolved (source or known depth); check the chain didn't
+        // re-enter itself.
+        let mut base = if u == n { 0.0 } else { depth[u] };
+        if chain.contains(&u) {
+            return None;
+        }
+        let mut prev = u;
+        for &v in chain.iter().rev() {
+            base += dist(prev, v);
+            depth[v] = base;
+            radius = radius.max(base);
+            prev = v;
+        }
+    }
+    Some(radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{Disk, Point2, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_instances() {
+        let t = exact_tree::<2>(Point2::ORIGIN, &[], 2).unwrap();
+        assert!(t.is_empty());
+        let t = exact_tree(Point2::ORIGIN, &[Point2::new([3.0, 4.0])], 1).unwrap();
+        assert_eq!(t.radius(), 5.0);
+    }
+
+    #[test]
+    fn unbounded_degree_gives_star_radius() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = Disk::unit().sample_n(&mut rng, 6);
+        let t = exact_tree(Point2::ORIGIN, &pts, 6).unwrap();
+        let star = pts.iter().map(|p| p.norm()).fold(0.0, f64::max);
+        assert!((t.radius() - star).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_forced_by_degree_one() {
+        // Three collinear points, degree 1: only chains are feasible, and
+        // the sorted chain is optimal.
+        let pts = vec![
+            Point2::new([2.0, 0.0]),
+            Point2::new([1.0, 0.0]),
+            Point2::new([3.0, 0.0]),
+        ];
+        let t = exact_tree(Point2::ORIGIN, &pts, 1).unwrap();
+        assert_eq!(t.radius(), 3.0);
+        t.validate(Some(1)).unwrap();
+    }
+
+    #[test]
+    fn optimum_beats_heuristics() {
+        use crate::greedy::{GreedyBuilder, GreedyObjective};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let pts = Disk::unit().sample_n(&mut rng, 6);
+            let opt = exact_tree(Point2::ORIGIN, &pts, 2).unwrap();
+            opt.validate(Some(2)).unwrap();
+            let cpt = GreedyBuilder::new(GreedyObjective::MinDelay)
+                .max_out_degree(2)
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert!(
+                opt.radius() <= cpt.radius() + 1e-12,
+                "exact {} > CPT {}",
+                opt.radius(),
+                cpt.radius()
+            );
+            // And never below the trivial lower bound.
+            let lb = pts.iter().map(|p| p.norm()).fold(0.0, f64::max);
+            assert!(opt.radius() >= lb - 1e-12);
+        }
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        let pts = vec![Point2::new([1.0, 0.0]); EXACT_MAX_N + 1];
+        assert!(matches!(
+            exact_tree(Point2::ORIGIN, &pts, 2),
+            Err(BaselineError::TooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn radius_of_detects_cycles() {
+        let d = |_: usize, _: usize| 1.0;
+        // 0 -> 1 -> 0 cycle.
+        assert_eq!(radius_of(2, &[1, 0], &d), None);
+        // Valid chain 1 -> 0 -> source(2).
+        let r = radius_of(2, &[2, 0], &d).unwrap();
+        assert_eq!(r, 2.0);
+        // A valid three-node chain source(3) <- 0 <- 1 <- 2.
+        assert_eq!(radius_of(3, &[3, 0, 1], &d), Some(3.0));
+        // Self-parent cycles.
+        assert_eq!(radius_of(3, &[3, 1, 1], &d), None); // 1 is its own parent
+        assert_eq!(radius_of(2, &[0, 0], &d), None); // 0 is its own parent
+    }
+
+    #[test]
+    fn theorem1_factors_hold_empirically() {
+        // Bisection is within factor 5 (deg 4) / 9 (deg 2) of the true
+        // optimum on random tiny instances.
+        use omt_core::Bisection;
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..8 {
+            let pts = Disk::unit().sample_n(&mut rng, 6);
+            let opt4 = exact_tree(Point2::ORIGIN, &pts, 4).unwrap().radius();
+            let b4 = Bisection::new(4)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap()
+                .radius();
+            assert!(b4 <= 5.0 * opt4 + 1e-12, "factor 5: {b4} vs opt {opt4}");
+            let opt2 = exact_tree(Point2::ORIGIN, &pts, 2).unwrap().radius();
+            let b2 = Bisection::new(2)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap()
+                .radius();
+            assert!(b2 <= 9.0 * opt2 + 1e-12, "factor 9: {b2} vs opt {opt2}");
+        }
+    }
+
+    #[test]
+    fn polar_grid_close_to_optimal_on_small_instances() {
+        use omt_core::PolarGridBuilder;
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut total_ratio = 0.0;
+        let trials = 8;
+        for _ in 0..trials {
+            let pts = Disk::unit().sample_n(&mut rng, 7);
+            let opt = exact_tree(Point2::ORIGIN, &pts, 6).unwrap().radius();
+            let pg = PolarGridBuilder::new()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap()
+                .radius();
+            assert!(pg >= opt - 1e-12);
+            total_ratio += pg / opt;
+        }
+        // On 7-point instances the polar grid should average well under 3x.
+        assert!(
+            total_ratio / trials as f64 <= 3.0,
+            "{}",
+            total_ratio / trials as f64
+        );
+    }
+}

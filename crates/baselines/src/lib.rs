@@ -1,0 +1,53 @@
+//! Baseline degree-constrained multicast tree heuristics.
+//!
+//! The prior-art constructions the paper positions itself against, plus an
+//! exact solver for tiny instances:
+//!
+//! * [`GreedyBuilder`] with [`GreedyObjective::MinDelay`] — the
+//!   compact-tree (CPT) heuristic of Shi & Turner (references \[16\], \[17\]):
+//!   always attach the node that ends up closest to the source. `O(n²)`.
+//! * [`GreedyBuilder`] with [`GreedyObjective::MinEdge`] —
+//!   degree-constrained Prim: always attach the cheapest edge.
+//! * [`BandwidthLatency`] — the bandwidth-latency heuristic of Chu et al.
+//!   (references \[5\], \[19\]): joiners pick the parent with the most spare
+//!   fan-out, tie-broken by latency; supports heterogeneous capacities.
+//! * [`random_tree`] — a uniformly random feasible tree (sanity ceiling).
+//! * [`star_tree`] / [`optimal_radius_lower_bound`] — the unconstrained
+//!   star whose radius lower-bounds every spanning tree's radius.
+//! * [`exact_tree`] — exhaustive optimum for `n ≤ 9`, the oracle used to
+//!   certify Theorem 1's constant factors empirically.
+//!
+//! # Examples
+//!
+//! Compare the CPT baseline against the universal lower bound:
+//!
+//! ```
+//! use omt_baselines::{optimal_radius_lower_bound, GreedyBuilder, GreedyObjective};
+//! use omt_geom::Point2;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pts = vec![Point2::new([1.0, 0.0]), Point2::new([0.0, 1.0])];
+//! let tree = GreedyBuilder::new(GreedyObjective::MinDelay)
+//!     .max_out_degree(2)
+//!     .build(Point2::ORIGIN, &pts)?;
+//! assert!(tree.radius() >= optimal_radius_lower_bound(Point2::ORIGIN, &pts));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth_latency;
+mod error;
+mod exact;
+mod greedy;
+mod random_tree;
+mod star;
+
+pub use bandwidth_latency::BandwidthLatency;
+pub use error::BaselineError;
+pub use exact::{exact_tree, EXACT_MAX_N};
+pub use greedy::{GreedyBuilder, GreedyObjective};
+pub use random_tree::random_tree;
+pub use star::{optimal_radius_lower_bound, star_tree};

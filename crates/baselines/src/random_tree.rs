@@ -1,0 +1,147 @@
+//! A uniformly random feasible tree — the "no intelligence" reference that
+//! upper-bounds what any reasonable heuristic should produce.
+
+use rand::{Rng, RngExt};
+
+use omt_geom::Point;
+use omt_tree::{MulticastTree, TreeBuilder};
+
+use crate::error::BaselineError;
+use crate::greedy::check_finite;
+
+/// Builds a random spanning tree: nodes are attached in a random order,
+/// each to a uniformly random already-attached node (or the source) with
+/// residual degree.
+///
+/// # Errors
+///
+/// * [`BaselineError::DegreeTooSmall`] if `max_out_degree == 0` with a
+///   nonempty input;
+/// * [`BaselineError::NonFinite`] for bad coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use omt_baselines::random_tree;
+/// use omt_geom::Point2;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SmallRng::seed_from_u64(4);
+/// let pts = vec![Point2::new([1.0, 0.0]); 10];
+/// let tree = random_tree(Point2::ORIGIN, &pts, 2, &mut rng)?;
+/// tree.validate(Some(2))?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_tree<const D: usize>(
+    source: Point<D>,
+    points: &[Point<D>],
+    max_out_degree: u32,
+    rng: &mut (impl Rng + ?Sized),
+) -> Result<MulticastTree<D>, BaselineError> {
+    check_finite(source, points)?;
+    let n = points.len();
+    if max_out_degree == 0 && n > 0 {
+        return Err(BaselineError::DegreeTooSmall { got: 0, min: 1 });
+    }
+    let mut builder = TreeBuilder::new(source, points.to_vec()).max_out_degree(max_out_degree);
+    // Random insertion order.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    // Available parents (with residual degree). Index n = the source.
+    let mut avail: Vec<u32> = vec![n as u32];
+    let mut used: Vec<u32> = vec![0; n + 1];
+    for &node in &order {
+        let pick = rng.random_range(0..avail.len());
+        let parent = avail[pick] as usize;
+        if parent == n {
+            builder
+                .attach_to_source(node as usize)
+                .expect("budget tracked");
+        } else {
+            builder
+                .attach(node as usize, parent)
+                .expect("budget tracked");
+        }
+        used[parent] += 1;
+        if used[parent] >= max_out_degree {
+            avail.swap_remove(pick);
+        }
+        avail.push(node);
+    }
+    Ok(builder.finish().expect("all nodes attached"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{Disk, Point2, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_trees_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = Disk::unit().sample_n(&mut rng, 200);
+        for deg in [1u32, 2, 5] {
+            let t = random_tree(Point2::ORIGIN, &pts, deg, &mut rng).unwrap();
+            assert_eq!(t.len(), 200);
+            t.validate(Some(deg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut rng1 = SmallRng::seed_from_u64(1);
+        let mut rng2 = SmallRng::seed_from_u64(2);
+        let pts = Disk::unit().sample_n(&mut rng1, 50);
+        let t1 = random_tree(Point2::ORIGIN, &pts, 2, &mut rng1).unwrap();
+        let t2 = random_tree(Point2::ORIGIN, &pts, 2, &mut rng2).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let pts = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            Disk::unit().sample_n(&mut rng, 50)
+        };
+        let t1 = random_tree(Point2::ORIGIN, &pts, 2, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let t2 = random_tree(Point2::ORIGIN, &pts, 2, &mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn zero_degree_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = vec![Point2::new([1.0, 0.0])];
+        assert!(matches!(
+            random_tree(Point2::ORIGIN, &pts, 0, &mut rng),
+            Err(BaselineError::DegreeTooSmall { .. })
+        ));
+        assert!(random_tree::<2>(Point2::ORIGIN, &[], 0, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn random_is_worse_than_any_heuristic_usually() {
+        use crate::greedy::{GreedyBuilder, GreedyObjective};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pts = Disk::unit().sample_n(&mut rng, 300);
+        let rnd = random_tree(Point2::ORIGIN, &pts, 2, &mut rng).unwrap();
+        let cpt = GreedyBuilder::new(GreedyObjective::MinDelay)
+            .max_out_degree(2)
+            .build(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert!(
+            rnd.radius() > cpt.radius(),
+            "{} vs {}",
+            rnd.radius(),
+            cpt.radius()
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The unconstrained star: every receiver attaches directly to the source.
+//!
+//! Infeasible under real fan-out budgets (the source would need out-degree
+//! `n`), but its radius — the largest direct distance — is the absolute
+//! lower bound `OPT ≥ max_i ‖p_i - s‖` every experiment reports against.
+
+use omt_geom::Point;
+use omt_tree::{MulticastTree, TreeBuilder};
+
+use crate::error::BaselineError;
+use crate::greedy::check_finite;
+
+/// Builds the star tree (out-degree bound ignored; the source adopts every
+/// node).
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NonFinite`] for bad coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use omt_baselines::star_tree;
+/// use omt_geom::Point2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pts = vec![Point2::new([3.0, 4.0]), Point2::new([1.0, 0.0])];
+/// let star = star_tree(Point2::ORIGIN, &pts)?;
+/// assert_eq!(star.radius(), 5.0); // the optimum can never beat this
+/// # Ok(())
+/// # }
+/// ```
+pub fn star_tree<const D: usize>(
+    source: Point<D>,
+    points: &[Point<D>],
+) -> Result<MulticastTree<D>, BaselineError> {
+    check_finite(source, points)?;
+    let mut builder = TreeBuilder::new(source, points.to_vec());
+    for i in 0..points.len() {
+        builder.attach_to_source(i).expect("unbounded degree");
+    }
+    Ok(builder.finish().expect("all attached"))
+}
+
+/// The radius of the star — the universal lower bound on any spanning
+/// tree's radius, degree-constrained or not.
+pub fn optimal_radius_lower_bound<const D: usize>(source: Point<D>, points: &[Point<D>]) -> f64 {
+    points
+        .iter()
+        .map(|p| p.distance(&source))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::Point2;
+
+    #[test]
+    fn star_radius_is_max_distance() {
+        let pts = vec![
+            Point2::new([1.0, 0.0]),
+            Point2::new([0.0, -2.0]),
+            Point2::new([0.5, 0.5]),
+        ];
+        let t = star_tree(Point2::ORIGIN, &pts).unwrap();
+        assert_eq!(t.radius(), 2.0);
+        assert_eq!(t.source_out_degree(), 3);
+        assert_eq!(t.max_hops(), 1);
+        assert_eq!(optimal_radius_lower_bound(Point2::ORIGIN, &pts), 2.0);
+    }
+
+    #[test]
+    fn empty_star() {
+        let t = star_tree::<2>(Point2::ORIGIN, &[]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(optimal_radius_lower_bound::<2>(Point2::ORIGIN, &[]), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_is_sound_for_all_builders() {
+        use crate::greedy::{GreedyBuilder, GreedyObjective};
+        use omt_geom::{Disk, Region};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pts = Disk::unit().sample_n(&mut rng, 100);
+        let lb = optimal_radius_lower_bound(Point2::ORIGIN, &pts);
+        let t = GreedyBuilder::new(GreedyObjective::MinDelay)
+            .max_out_degree(2)
+            .build(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert!(t.radius() >= lb - 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! The scalability argument of the paper's related-work section: the
+//! linear-time polar grid against the quadratic heuristics it cites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_baselines::{BandwidthLatency, GreedyBuilder, GreedyObjective};
+use omt_bench::disk_points;
+use omt_core::PolarGridBuilder;
+use omt_geom::Point2;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let points = disk_points(n, 11);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("polar_grid", n), &points, |b, pts| {
+            let alg = PolarGridBuilder::new().max_out_degree(6);
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("compact_tree", n), &points, |b, pts| {
+            let alg = GreedyBuilder::new(GreedyObjective::MinDelay).max_out_degree(6);
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_prim", n), &points, |b, pts| {
+            let alg = GreedyBuilder::new(GreedyObjective::MinEdge).max_out_degree(6);
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bandwidth_latency", n),
+            &points,
+            |b, pts| {
+                let alg = BandwidthLatency::uniform(6);
+                b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Section II standalone: the constant-factor bisection algorithm at both
+//! degree settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_bench::disk_points;
+use omt_core::Bisection;
+use omt_geom::Point2;
+
+fn bench_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisection");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let points = disk_points(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("deg4", n), &points, |b, pts| {
+            let alg = Bisection::new(4).unwrap();
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("deg2", n), &points, |b, pts| {
+            let alg = Bisection::new(2).unwrap();
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisection);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Component micro-benchmarks: where the O(n) budget goes (grid locate +
+//! k-selection vs. in-cell bisection vs. tree assembly), plus the
+//! embedding substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_bench::disk_points;
+use omt_core::{PolarGrid2, PolarGridBuilder};
+use omt_geom::{Point2, PolarPoint};
+use omt_net::{gnp_embed, DelayMatrix, GnpConfig, WaxmanConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+
+    // Grid locate: the per-point assignment cost.
+    let points = disk_points(100_000, 5);
+    let polar: Vec<PolarPoint> = points.iter().map(PolarPoint::from_cartesian).collect();
+    let grid = PolarGrid2::new(12, 1.0 + 1e-9);
+    group.throughput(Throughput::Elements(polar.len() as u64));
+    group.bench_function("grid_locate_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &polar {
+                let (r, s) = grid.cell_of(p);
+                acc = acc.wrapping_add(u64::from(r)).wrapping_add(s);
+            }
+            acc
+        });
+    });
+
+    // Pure bisection (rings = 0) vs. the full pipeline at the same size.
+    let pts10k = disk_points(10_000, 6);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_with_input(
+        BenchmarkId::new("pure_bisection", 10_000),
+        &pts10k,
+        |b, pts| {
+            let alg = PolarGridBuilder::new().rings(0);
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("full_pipeline", 10_000),
+        &pts10k,
+        |b, pts| {
+            let alg = PolarGridBuilder::new();
+            b.iter(|| alg.build(Point2::ORIGIN, pts).unwrap());
+        },
+    );
+
+    // GNP embedding of 60 hosts on a 150-router underlay.
+    let mut rng = SmallRng::seed_from_u64(9);
+    let underlay = WaxmanConfig {
+        routers: 150,
+        ..WaxmanConfig::default()
+    }
+    .sample(&mut rng);
+    let hosts: Vec<usize> = (0..60).collect();
+    let delays = DelayMatrix::from_graph(&underlay, &hosts);
+    group.throughput(Throughput::Elements(60));
+    group.bench_function("gnp_embed_60_hosts", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(10);
+            gnp_embed::<3>(&delays, &GnpConfig::default(), &mut rng)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Dynamic membership benchmarks: join throughput and churn maintenance,
+//! plus the dissemination simulator's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_bench::disk_points;
+use omt_core::{DynamicOverlay, PolarGridBuilder};
+use omt_geom::Point2;
+use omt_sim::{simulate, SimConfig};
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let points = disk_points(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("join_all", n), &points, |b, pts| {
+            b.iter(|| {
+                let mut overlay = DynamicOverlay::new(Point2::ORIGIN, 6).unwrap();
+                for &p in pts {
+                    overlay.join(p);
+                }
+                overlay.len()
+            });
+        });
+    }
+    // Simulation throughput over a 100k-node tree.
+    let points = disk_points(100_000, 4);
+    let tree = PolarGridBuilder::new()
+        .build(Point2::ORIGIN, &points)
+        .unwrap();
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("simulate_100k", |b| {
+        let cfg = SimConfig {
+            serialization_delay: 0.001,
+            ..SimConfig::default()
+        };
+        b.iter(|| simulate(&tree, &cfg).makespan);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

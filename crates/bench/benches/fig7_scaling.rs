@@ -1,0 +1,27 @@
+//! Figure 7: running time versus n — the near-linear scaling curve,
+//! including the paper's inset range (100 .. 10,000).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_bench::disk_points;
+use omt_core::PolarGridBuilder;
+use omt_geom::Point2;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    // The inset range plus the main curve up to 1M (5M is reachable with
+    // the planetary_swarm example; criterion repetition makes it too slow
+    // here).
+    for n in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let points = disk_points(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            let builder = PolarGridBuilder::new();
+            b.iter(|| builder.build(Point2::ORIGIN, pts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 8 (timing dimension): 3-D unit-sphere construction at out-degree
+//! 10 and out-degree 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_bench::ball_points;
+use omt_core::SphereGridBuilder;
+use omt_geom::Point3;
+
+fn bench_sphere(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let points = ball_points(n, n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("deg10", n), &points, |b, pts| {
+            let builder = SphereGridBuilder::new();
+            b.iter(|| builder.build(Point3::ORIGIN, pts).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("deg2", n), &points, |b, pts| {
+            let builder = SphereGridBuilder::new().max_out_degree(2);
+            b.iter(|| builder.build(Point3::ORIGIN, pts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sphere);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table I, "CPU Sec" columns: construction time of the degree-6 and
+//! degree-2 polar-grid trees per problem size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omt_bench::disk_points;
+use omt_core::PolarGridBuilder;
+use omt_geom::Point2;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let points = disk_points(n, n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("deg6", n), &points, |b, pts| {
+            let builder = PolarGridBuilder::new().max_out_degree(6);
+            b.iter(|| builder.build(Point2::ORIGIN, pts).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("deg2", n), &points, |b, pts| {
+            let builder = PolarGridBuilder::new().max_out_degree(2);
+            b.iter(|| builder.build(Point2::ORIGIN, pts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,616 @@
+//! The bisection algorithm (Section II of the paper): a constant-factor
+//! approximation for the degree-constrained minimum-radius spanning tree of
+//! points inside a polar ring segment.
+//!
+//! Two variants are provided, matching the paper:
+//!
+//! * **out-degree 4** — the segment is split into four sub-segments (radius
+//!   and angle each halved); the source connects the representative of each
+//!   non-empty sub-segment, chosen as the point whose radius is closest to
+//!   the source's radius. Theorem 1: paths are within factor 5 of optimal,
+//!   per equation (1): `l_p ≤ max(R-q, q-r) + 2·R·a`.
+//! * **out-degree 2** — the source connects only two points (again chosen
+//!   by radius proximity), which then take over half the segment each; the
+//!   angular term doubles, per equation (2): `l_p ≤ max(R-q, q-r) + 4·R·a`,
+//!   and the approximation factor becomes 9.
+//!
+//! Both are implemented with explicit work stacks (no recursion) so
+//! adversarially clustered inputs cannot overflow the call stack, and both
+//! are careful to make progress every step — each work item attaches at
+//! least one point — so termination is unconditional, even for duplicate
+//! points.
+
+use omt_geom::{Point2, PolarPoint, RingSegment};
+use omt_tree::{MulticastTree, ParentRef, TreeBuilder, TreeError};
+
+pub(crate) use crate::fanout::fanout_chain;
+
+use crate::error::BuildError;
+
+/// Attaches `child` under `parent` in the builder.
+pub(crate) fn attach(
+    b: &mut TreeBuilder<2>,
+    child: usize,
+    parent: ParentRef,
+) -> Result<(), TreeError> {
+    match parent {
+        ParentRef::Source => b.attach_to_source(child),
+        ParentRef::Node(p) => b.attach(child, p),
+    }
+}
+
+/// Removes and returns the index in `idx` whose radius is closest to `q`
+/// (the paper's representative rule: "radius closest to the radius of the
+/// source node").
+fn take_closest_radius(polar: &[PolarPoint], idx: &mut Vec<u32>, q: f64) -> u32 {
+    debug_assert!(!idx.is_empty());
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (pos, &p) in idx.iter().enumerate() {
+        let d = (polar[p as usize].radius - q).abs();
+        if d < best_d {
+            best_d = d;
+            best = pos;
+        }
+    }
+    idx.swap_remove(best)
+}
+
+/// Connects every point in `idx` below `src` with out-degree at most 4 per
+/// node, following the 4-way bisection of `seg`.
+///
+/// `polar` holds the polar coordinates of **all** builder points in the
+/// frame the segment lives in; `src_radius` is the local source's radius in
+/// that frame.
+pub(crate) fn bisect4(
+    b: &mut TreeBuilder<2>,
+    polar: &[PolarPoint],
+    seg: RingSegment,
+    src: ParentRef,
+    src_radius: f64,
+    idx: Vec<u32>,
+) -> Result<(), TreeError> {
+    let mut stack: Vec<(RingSegment, ParentRef, f64, Vec<u32>)> = Vec::new();
+    stack.push((seg, src, src_radius, idx));
+    while let Some((seg, src, q, idx)) = stack.pop() {
+        if idx.is_empty() {
+            continue;
+        }
+        // Partition the set into the four sub-segments.
+        let children = seg.split4();
+        let mut parts: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for p in idx {
+            parts[seg.classify4(&polar[p as usize])].push(p);
+        }
+        for (c, mut part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let rep = take_closest_radius(polar, &mut part, q);
+            attach(b, rep as usize, src)?;
+            if !part.is_empty() {
+                stack.push((
+                    children[c],
+                    ParentRef::Node(rep as usize),
+                    polar[rep as usize].radius,
+                    part,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The axis a binary split halves, cycling radius → angle → radius → …
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis {
+    Radius,
+    Angle,
+}
+
+impl Axis {
+    fn next(self) -> Self {
+        match self {
+            Self::Radius => Self::Angle,
+            Self::Angle => Self::Radius,
+        }
+    }
+}
+
+/// Connects every point in `idx` below `src` with out-degree at most 2 per
+/// node: the source adopts the two points with radius closest to its own,
+/// which then take over the two halves of the segment (split along
+/// alternating axes — the binary refinement of the paper's 4-way step).
+pub(crate) fn bisect2(
+    b: &mut TreeBuilder<2>,
+    polar: &[PolarPoint],
+    seg: RingSegment,
+    src: ParentRef,
+    src_radius: f64,
+    idx: Vec<u32>,
+) -> Result<(), TreeError> {
+    let mut stack: Vec<(RingSegment, Axis, ParentRef, f64, Vec<u32>)> = Vec::new();
+    stack.push((seg, Axis::Radius, src, src_radius, idx));
+    while let Some((seg, axis, src, q, mut idx)) = stack.pop() {
+        match idx.len() {
+            0 => continue,
+            1 => {
+                attach(b, idx[0] as usize, src)?;
+                continue;
+            }
+            2 => {
+                attach(b, idx[0] as usize, src)?;
+                attach(b, idx[1] as usize, src)?;
+                continue;
+            }
+            _ => {}
+        }
+        let a = take_closest_radius(polar, &mut idx, q);
+        let c = take_closest_radius(polar, &mut idx, q);
+        attach(b, a as usize, src)?;
+        attach(b, c as usize, src)?;
+        // Split the segment and hand each half to one carrier.
+        let (lo_seg, hi_seg) = match axis {
+            Axis::Radius => {
+                let parts = seg.split4();
+                // split4 yields [inner-lo, inner-hi, outer-lo, outer-hi];
+                // recombine into inner/outer halves.
+                (
+                    RingSegment::new(
+                        parts[0].r_lo(),
+                        parts[0].r_hi(),
+                        seg.arc().lo(),
+                        seg.arc().hi(),
+                    ),
+                    RingSegment::new(
+                        parts[2].r_lo(),
+                        parts[2].r_hi(),
+                        seg.arc().lo(),
+                        seg.arc().hi(),
+                    ),
+                )
+            }
+            Axis::Angle => seg.split_angle(),
+        };
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        let rm = 0.5 * (seg.r_lo() + seg.r_hi());
+        let am = seg.arc().mid();
+        for p in idx {
+            let pp = &polar[p as usize];
+            let is_hi = match axis {
+                Axis::Radius => pp.radius >= rm,
+                Axis::Angle => pp.angle >= am,
+            };
+            if is_hi {
+                hi.push(p);
+            } else {
+                lo.push(p);
+            }
+        }
+        // Give the lower half to the carrier closer to it in the split
+        // coordinate, to avoid pointless criss-crossing.
+        let (pa, pc) = (&polar[a as usize], &polar[c as usize]);
+        let (carrier_lo, carrier_hi) = match axis {
+            Axis::Radius => {
+                if pa.radius <= pc.radius {
+                    (a, c)
+                } else {
+                    (c, a)
+                }
+            }
+            Axis::Angle => {
+                if pa.angle <= pc.angle {
+                    (a, c)
+                } else {
+                    (c, a)
+                }
+            }
+        };
+        stack.push((
+            lo_seg,
+            axis.next(),
+            ParentRef::Node(carrier_lo as usize),
+            polar[carrier_lo as usize].radius,
+            lo,
+        ));
+        stack.push((
+            hi_seg,
+            axis.next(),
+            ParentRef::Node(carrier_hi as usize),
+            polar[carrier_hi as usize].radius,
+            hi,
+        ));
+    }
+    Ok(())
+}
+
+/// A frame for running the bisection algorithm on an arbitrary point set:
+/// a far-away pole so that the covering ring segment is thin
+/// (`r > 0.6 R`) and narrow (`sin a > 5a/6`), as Section II requires for
+/// the constant-factor guarantee.
+#[derive(Clone, Debug)]
+pub(crate) struct CoveringFrame {
+    /// Polar coordinates of every point in the far-pole frame, with angles
+    /// shifted to sit near `π` (so the arc never wraps `2π`).
+    pub polar: Vec<PolarPoint>,
+    /// The source's coordinates in the same frame.
+    pub source_polar: PolarPoint,
+    /// The minimal covering segment.
+    pub segment: RingSegment,
+}
+
+impl CoveringFrame {
+    /// Builds the covering frame. Returns `None` if all points coincide
+    /// with the source (no extent — callers should fall back to a trivial
+    /// fan-out tree).
+    pub fn new(source: Point2, points: &[Point2]) -> Option<Self> {
+        let mut min = source.coords();
+        let mut max = source.coords();
+        for p in points {
+            for i in 0..2 {
+                min[i] = min[i].min(p[i]);
+                max[i] = max[i].max(p[i]);
+            }
+        }
+        let diag = Point2::new(max).distance(&Point2::new(min));
+        if diag == 0.0 {
+            return None;
+        }
+        let center = Point2::new(min).midpoint(&Point2::new(max));
+        // Pole at distance 20·diag: r/R ≥ 19.5/20.5 > 0.6 and the full
+        // angular width is below 0.06 rad, so sin a > 5a/6 easily holds.
+        let pole = center - Point2::new([20.0 * diag, 0.0]);
+        let to_polar = |p: &Point2| {
+            let v = *p - pole;
+            // Raw angle is within ±~0.026 of 0 (the +x direction); shift by
+            // π so the covering arc sits far from the 0/2π seam.
+            let raw = v.y().atan2(v.x());
+            PolarPoint::new(v.norm(), raw + core::f64::consts::PI)
+        };
+        let polar: Vec<PolarPoint> = points.iter().map(&to_polar).collect();
+        let source_polar = to_polar(&source);
+        let mut r_lo = source_polar.radius;
+        let mut r_hi = source_polar.radius;
+        let mut a_lo = source_polar.angle;
+        let mut a_hi = source_polar.angle;
+        for p in &polar {
+            r_lo = r_lo.min(p.radius);
+            r_hi = r_hi.max(p.radius);
+            a_lo = a_lo.min(p.angle);
+            a_hi = a_hi.max(p.angle);
+        }
+        // Nudge the exclusive upper bounds so extreme points are inside.
+        let r_pad = (r_hi - r_lo).max(r_hi * 1e-12) * 1e-9 + f64::MIN_POSITIVE;
+        let a_pad = (a_hi - a_lo).max(1e-12) * 1e-9 + f64::MIN_POSITIVE;
+        let segment = RingSegment::new(r_lo, r_hi + r_pad, a_lo, a_hi + a_pad);
+        Some(Self {
+            polar,
+            source_polar,
+            segment,
+        })
+    }
+}
+
+/// The standalone bisection tree builder (Section II): a constant-factor
+/// approximation algorithm for arbitrary point sets in the plane.
+///
+/// Budgets of 4 and above run the 4-way variant (approximation factor 5);
+/// budgets 2 and 3 run the binary variant (factor 9).
+///
+/// # Examples
+///
+/// ```
+/// use omt_core::Bisection;
+/// use omt_geom::Point2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let points: Vec<Point2> = (0..50)
+///     .map(|i| Point2::new([(i as f64 * 0.7).cos(), (i as f64 * 0.7).sin() * 0.5]))
+///     .collect();
+/// let tree = Bisection::new(4)?.build(Point2::ORIGIN, &points)?;
+/// assert_eq!(tree.len(), 50);
+/// assert!(tree.max_out_degree() <= 4);
+/// tree.validate(Some(4))?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bisection {
+    max_out_degree: u32,
+}
+
+impl Bisection {
+    /// Creates a bisection builder with the given out-degree budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DegreeTooSmall`] for budgets below 2.
+    pub fn new(max_out_degree: u32) -> Result<Self, BuildError> {
+        if max_out_degree < 2 {
+            return Err(BuildError::DegreeTooSmall {
+                got: max_out_degree,
+                min: 2,
+            });
+        }
+        Ok(Self { max_out_degree })
+    }
+
+    /// The configured out-degree budget.
+    pub const fn max_out_degree(&self) -> u32 {
+        self.max_out_degree
+    }
+
+    /// Builds the spanning tree rooted at `source` over `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any coordinate is non-finite. Internal tree
+    /// errors ([`BuildError::Internal`]) indicate a bug, not bad input.
+    pub fn build(&self, source: Point2, points: &[Point2]) -> Result<MulticastTree<2>, BuildError> {
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let mut builder =
+            TreeBuilder::new(source, points.to_vec()).max_out_degree(self.max_out_degree);
+        match CoveringFrame::new(source, points) {
+            None => {
+                // Every point coincides with the source: any
+                // degree-respecting tree is optimal (radius 0).
+                fanout_chain(&mut builder, self.max_out_degree)?;
+            }
+            Some(frame) => {
+                let idx: Vec<u32> = (0..points.len() as u32).collect();
+                if self.max_out_degree >= 4 {
+                    bisect4(
+                        &mut builder,
+                        &frame.polar,
+                        frame.segment,
+                        ParentRef::Source,
+                        frame.source_polar.radius,
+                        idx,
+                    )?;
+                } else {
+                    bisect2(
+                        &mut builder,
+                        &frame.polar,
+                        frame.segment,
+                        ParentRef::Source,
+                        frame.source_polar.radius,
+                        idx,
+                    )?;
+                }
+            }
+        }
+        Ok(builder.finish()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{bisection_bound_deg2, bisection_bound_deg4};
+    use omt_geom::{Disk, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Disk::unit().sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn degree_below_two_rejected() {
+        assert!(matches!(
+            Bisection::new(1),
+            Err(BuildError::DegreeTooSmall { got: 1, min: 2 })
+        ));
+        assert!(Bisection::new(2).is_ok());
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        let b = Bisection::new(4).unwrap();
+        assert_eq!(
+            b.build(Point2::new([f64::NAN, 0.0]), &[]),
+            Err(BuildError::NonFiniteSource)
+        );
+        assert_eq!(
+            b.build(Point2::ORIGIN, &[Point2::new([0.0, f64::INFINITY])]),
+            Err(BuildError::NonFinitePoint { index: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_tree() {
+        let t = Bisection::new(4)
+            .unwrap()
+            .build(Point2::ORIGIN, &[])
+            .unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = Bisection::new(2)
+            .unwrap()
+            .build(Point2::ORIGIN, &[Point2::new([3.0, 4.0])])
+            .unwrap();
+        assert_eq!(t.radius(), 5.0);
+        t.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn deg4_trees_are_valid_spanning_degree_bounded() {
+        for n in [2usize, 5, 17, 100, 1000] {
+            let pts = disk_points(n, n as u64);
+            let t = Bisection::new(4)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(t.len(), n);
+            t.validate(Some(4)).unwrap();
+        }
+    }
+
+    #[test]
+    fn deg2_trees_are_valid_spanning_degree_bounded() {
+        for n in [2usize, 3, 9, 64, 777] {
+            let pts = disk_points(n, 100 + n as u64);
+            let t = Bisection::new(2)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(t.len(), n);
+            t.validate(Some(2)).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_points_terminate() {
+        let pts = vec![Point2::new([0.5, 0.5]); 50];
+        for deg in [2, 4] {
+            let t = Bisection::new(deg)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(t.len(), 50);
+            t.validate(Some(deg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_points_at_source_fall_back_to_fanout() {
+        let pts = vec![Point2::new([1.0, 1.0]); 20];
+        let t = Bisection::new(3)
+            .unwrap()
+            .build(Point2::new([1.0, 1.0]), &pts)
+            .unwrap();
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.radius(), 0.0);
+        t.validate(Some(3)).unwrap();
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point2> = (1..=40)
+            .map(|i| Point2::new([i as f64 * 0.1, 0.0]))
+            .collect();
+        for deg in [2, 4] {
+            let t = Bisection::new(deg)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            t.validate(Some(deg)).unwrap();
+            // Optimal radius is 4.0 (the farthest point); factor must hold
+            // comfortably on this benign instance.
+            assert!(t.radius() < 4.0 * 3.0, "radius {}", t.radius());
+        }
+    }
+
+    #[test]
+    fn covering_frame_geometry() {
+        let pts = disk_points(200, 9);
+        let frame = CoveringFrame::new(Point2::ORIGIN, &pts).unwrap();
+        let seg = frame.segment;
+        // Thin: r > 0.6 R.
+        assert!(seg.r_lo() > 0.6 * seg.r_hi());
+        // Narrow: well below the sin a > 5a/6 threshold.
+        assert!(seg.angle_width() < 0.2);
+        // Contains every point and the source.
+        for p in &frame.polar {
+            assert!(seg.contains(p), "{p:?} outside {seg:?}");
+        }
+        assert!(seg.contains(&frame.source_polar));
+    }
+
+    #[test]
+    fn paths_respect_equation_bounds() {
+        // Equation (1) bounds every root-to-leaf path of the deg-4 variant;
+        // the binary deg-2 variant satisfies equation (2). We assert the
+        // tree radius (longest path) against the bound in the covering
+        // frame, with a small numerical tolerance.
+        for seed in 0..5u64 {
+            let pts = disk_points(300, 40 + seed);
+            let frame = CoveringFrame::new(Point2::ORIGIN, &pts).unwrap();
+            let q = frame.source_polar.radius;
+
+            let t4 = Bisection::new(4)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            let bound4 = bisection_bound_deg4(&frame.segment, q);
+            assert!(
+                t4.radius() <= bound4 * (1.0 + 1e-9),
+                "deg4 radius {} > bound {}",
+                t4.radius(),
+                bound4
+            );
+
+            let t2 = Bisection::new(2)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            let bound2 = bisection_bound_deg2(&frame.segment, q);
+            assert!(
+                t2.radius() <= bound2 * (1.0 + 1e-9),
+                "deg2 radius {} > bound {}",
+                t2.radius(),
+                bound2
+            );
+        }
+    }
+
+    #[test]
+    fn constant_factor_versus_lower_bound() {
+        // OPT >= max direct distance; Theorem 1 promises factor 5 (deg 4)
+        // and 9 (deg 2) against OPT, so in particular against this bound.
+        for seed in 0..5u64 {
+            let pts = disk_points(500, 700 + seed);
+            let opt_lb = pts.iter().map(|p| p.norm()).fold(0.0, f64::max);
+            let t4 = Bisection::new(4)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert!(
+                t4.radius() <= 5.0 * opt_lb * (1.0 + 1e-9),
+                "factor 5 violated"
+            );
+            let t2 = Bisection::new(2)
+                .unwrap()
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert!(
+                t2.radius() <= 9.0 * opt_lb * (1.0 + 1e-9),
+                "factor 9 violated"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_three_uses_binary_variant() {
+        let pts = disk_points(50, 3);
+        let t = Bisection::new(3)
+            .unwrap()
+            .build(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert!(t.max_out_degree() <= 2);
+        t.validate(Some(3)).unwrap();
+    }
+
+    #[test]
+    fn take_closest_radius_picks_nearest() {
+        let polar = vec![
+            PolarPoint::new(1.0, 0.0),
+            PolarPoint::new(5.0, 0.0),
+            PolarPoint::new(2.9, 0.0),
+        ];
+        let mut idx = vec![0, 1, 2];
+        let got = take_closest_radius(&polar, &mut idx, 3.0);
+        assert_eq!(got, 2);
+        assert_eq!(idx.len(), 2);
+    }
+}

@@ -1,0 +1,454 @@
+//! The 3-D bisection subroutines: the 8-way split used by the out-degree-10
+//! tree of Figure 8 ("each cell representative node … uses at most 8 links
+//! to connect to points inside the cell"), and a binary variant for
+//! out-degree-2 trees (axes cycling radius → azimuth → z).
+
+use omt_geom::{ShellCell, SphericalPoint};
+use omt_tree::{ParentRef, TreeBuilder, TreeError};
+
+pub(crate) use crate::fanout::fanout_chain as fanout_chain3;
+
+/// Attaches `child` under `parent` in a 3-D builder.
+pub(crate) fn attach3(
+    b: &mut TreeBuilder<3>,
+    child: usize,
+    parent: ParentRef,
+) -> Result<(), TreeError> {
+    match parent {
+        ParentRef::Source => b.attach_to_source(child),
+        ParentRef::Node(p) => b.attach(child, p),
+    }
+}
+
+/// Removes and returns the index whose radius is closest to `q`.
+fn take_closest_radius(sph: &[SphericalPoint], idx: &mut Vec<u32>, q: f64) -> u32 {
+    debug_assert!(!idx.is_empty());
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (pos, &p) in idx.iter().enumerate() {
+        let d = (sph[p as usize].radius - q).abs();
+        if d < best_d {
+            best_d = d;
+            best = pos;
+        }
+    }
+    idx.swap_remove(best)
+}
+
+/// Connects every point in `idx` below `src` with out-degree at most 8 per
+/// node, following the 8-way octant split of the shell cell.
+pub(crate) fn bisect8(
+    b: &mut TreeBuilder<3>,
+    sph: &[SphericalPoint],
+    cell: ShellCell,
+    src: ParentRef,
+    src_radius: f64,
+    idx: Vec<u32>,
+) -> Result<(), TreeError> {
+    let mut stack: Vec<(ShellCell, ParentRef, f64, Vec<u32>)> = vec![(cell, src, src_radius, idx)];
+    while let Some((cell, src, q, idx)) = stack.pop() {
+        if idx.is_empty() {
+            continue;
+        }
+        let children = cell.split8();
+        let mut parts: [Vec<u32>; 8] = Default::default();
+        for p in idx {
+            parts[cell.classify8(&sph[p as usize])].push(p);
+        }
+        for (c, mut part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let rep = take_closest_radius(sph, &mut part, q);
+            attach3(b, rep as usize, src)?;
+            if !part.is_empty() {
+                stack.push((
+                    children[c],
+                    ParentRef::Node(rep as usize),
+                    sph[rep as usize].radius,
+                    part,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The axis a binary split halves, cycling radius → azimuth → z.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis3 {
+    Radius,
+    Azimuth,
+    Z,
+}
+
+impl Axis3 {
+    fn next(self) -> Self {
+        match self {
+            Self::Radius => Self::Azimuth,
+            Self::Azimuth => Self::Z,
+            Self::Z => Self::Radius,
+        }
+    }
+}
+
+/// Connects every point in `idx` below `src` with out-degree at most 2 per
+/// node: binary splits along cycling axes, two carriers per step chosen by
+/// radius proximity to the local source.
+pub(crate) fn bisect2_3d(
+    b: &mut TreeBuilder<3>,
+    sph: &[SphericalPoint],
+    cell: ShellCell,
+    src: ParentRef,
+    src_radius: f64,
+    idx: Vec<u32>,
+) -> Result<(), TreeError> {
+    let mut stack: Vec<(ShellCell, Axis3, ParentRef, f64, Vec<u32>)> =
+        vec![(cell, Axis3::Radius, src, src_radius, idx)];
+    while let Some((cell, axis, src, q, mut idx)) = stack.pop() {
+        match idx.len() {
+            0 => continue,
+            1 => {
+                attach3(b, idx[0] as usize, src)?;
+                continue;
+            }
+            2 => {
+                attach3(b, idx[0] as usize, src)?;
+                attach3(b, idx[1] as usize, src)?;
+                continue;
+            }
+            _ => {}
+        }
+        let a = take_closest_radius(sph, &mut idx, q);
+        let c = take_closest_radius(sph, &mut idx, q);
+        attach3(b, a as usize, src)?;
+        attach3(b, c as usize, src)?;
+        let rm = 0.5 * (cell.r_lo() + cell.r_hi());
+        let am = cell.arc().mid();
+        let (z_lo, z_hi) = cell.z_range();
+        let zm = 0.5 * (z_lo + z_hi);
+        let coordinate = |p: &SphericalPoint| match axis {
+            Axis3::Radius => (p.radius, rm),
+            Axis3::Azimuth => (p.azimuth, am),
+            Axis3::Z => (p.cos_polar, zm),
+        };
+        let (lo_cell, hi_cell) = match axis {
+            Axis3::Radius => (
+                ShellCell::new(
+                    cell.r_lo(),
+                    rm,
+                    cell.arc().lo(),
+                    cell.arc().hi(),
+                    z_lo,
+                    z_hi,
+                ),
+                ShellCell::new(
+                    rm,
+                    cell.r_hi(),
+                    cell.arc().lo(),
+                    cell.arc().hi(),
+                    z_lo,
+                    z_hi,
+                ),
+            ),
+            Axis3::Azimuth => cell.split_azimuth(),
+            Axis3::Z => cell.split_z(),
+        };
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for p in idx {
+            let (v, mid) = coordinate(&sph[p as usize]);
+            if v >= mid {
+                hi.push(p);
+            } else {
+                lo.push(p);
+            }
+        }
+        // Carrier closer to each half (in the split coordinate) takes it.
+        let (va, _) = coordinate(&sph[a as usize]);
+        let (vc, _) = coordinate(&sph[c as usize]);
+        let (carrier_lo, carrier_hi) = if va <= vc { (a, c) } else { (c, a) };
+        stack.push((
+            lo_cell,
+            axis.next(),
+            ParentRef::Node(carrier_lo as usize),
+            sph[carrier_lo as usize].radius,
+            lo,
+        ));
+        stack.push((
+            hi_cell,
+            axis.next(),
+            ParentRef::Node(carrier_hi as usize),
+            sph[carrier_hi as usize].radius,
+            hi,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{Ball, Point3, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (TreeBuilder<3>, Vec<SphericalPoint>, Vec<u32>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = Ball::<3>::unit().sample_n(&mut rng, n);
+        let sph = pts.iter().map(SphericalPoint::from_cartesian).collect();
+        let b = TreeBuilder::new(Point3::ORIGIN, pts);
+        let idx = (0..n as u32).collect();
+        (b, sph, idx)
+    }
+
+    #[test]
+    fn bisect8_produces_valid_degree8_tree() {
+        for n in [1usize, 5, 64, 500] {
+            let (mut b, sph, idx) = setup(n, n as u64);
+            let mut b = {
+                b = b.max_out_degree(8);
+                b
+            };
+            bisect8(
+                &mut b,
+                &sph,
+                ShellCell::ball(1.0 + 1e-9),
+                ParentRef::Source,
+                0.0,
+                idx,
+            )
+            .unwrap();
+            let t = b.finish().unwrap();
+            assert_eq!(t.len(), n);
+            t.validate(Some(8)).unwrap();
+        }
+    }
+
+    #[test]
+    fn bisect2_3d_produces_valid_degree2_tree() {
+        for n in [1usize, 2, 3, 9, 200] {
+            let (b, sph, idx) = setup(n, 90 + n as u64);
+            let mut b = b.max_out_degree(2);
+            bisect2_3d(
+                &mut b,
+                &sph,
+                ShellCell::ball(1.0 + 1e-9),
+                ParentRef::Source,
+                0.0,
+                idx,
+            )
+            .unwrap();
+            let t = b.finish().unwrap();
+            assert_eq!(t.len(), n);
+            t.validate(Some(2)).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_points_terminate() {
+        let pts = vec![Point3::new([0.3, 0.3, 0.3]); 40];
+        let sph: Vec<SphericalPoint> = pts.iter().map(SphericalPoint::from_cartesian).collect();
+        let mut b = TreeBuilder::new(Point3::ORIGIN, pts.clone()).max_out_degree(8);
+        bisect8(
+            &mut b,
+            &sph,
+            ShellCell::ball(1.0),
+            ParentRef::Source,
+            0.0,
+            (0..40).collect(),
+        )
+        .unwrap();
+        b.finish().unwrap().validate(Some(8)).unwrap();
+
+        let mut b = TreeBuilder::new(Point3::ORIGIN, pts).max_out_degree(2);
+        bisect2_3d(
+            &mut b,
+            &sph,
+            ShellCell::ball(1.0),
+            ParentRef::Source,
+            0.0,
+            (0..40).collect(),
+        )
+        .unwrap();
+        b.finish().unwrap().validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn radius_stays_within_constant_factor_of_direct() {
+        let (b, sph, idx) = setup(1000, 7);
+        let opt_lb = sph.iter().map(|p| p.radius).fold(0.0, f64::max);
+        let mut b = b.max_out_degree(8);
+        bisect8(
+            &mut b,
+            &sph,
+            ShellCell::ball(1.0 + 1e-9),
+            ParentRef::Source,
+            0.0,
+            idx,
+        )
+        .unwrap();
+        let t = b.finish().unwrap();
+        // Inside the full ball the bisection is not the tuned covering-
+        // segment setting, but the radius must still be a small multiple of
+        // the lower bound.
+        assert!(t.radius() <= 8.0 * opt_lb, "radius {}", t.radius());
+    }
+
+    #[test]
+    fn fanout_chain3_attaches_everything() {
+        let pts = vec![Point3::ORIGIN; 17];
+        let mut b = TreeBuilder::new(Point3::ORIGIN, pts).max_out_degree(2);
+        fanout_chain3(&mut b, 2).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.len(), 17);
+        t.validate(Some(2)).unwrap();
+    }
+}
+
+/// The standalone 3-D bisection builder: the Section-II constant-factor
+/// construction lifted to shell cells (8-way splits at out-degree 8, the
+/// binary variant at out-degree 2–7).
+///
+/// # Examples
+///
+/// ```
+/// use omt_core::Bisection3;
+/// use omt_geom::Point3;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let points: Vec<Point3> = (0..60)
+///     .map(|i| {
+///         let t = i as f64 * 0.4;
+///         Point3::new([t.cos(), t.sin(), (t * 0.3).sin() * 0.5])
+///     })
+///     .collect();
+/// let tree = Bisection3::new(8)?.build(Point3::ORIGIN, &points)?;
+/// tree.validate(Some(8))?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bisection3 {
+    max_out_degree: u32,
+}
+
+impl Bisection3 {
+    /// Creates a 3-D bisection builder with the given out-degree budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DegreeTooSmall`] for budgets below 2.
+    pub fn new(max_out_degree: u32) -> Result<Self, crate::error::BuildError> {
+        if max_out_degree < 2 {
+            return Err(crate::error::BuildError::DegreeTooSmall {
+                got: max_out_degree,
+                min: 2,
+            });
+        }
+        Ok(Self { max_out_degree })
+    }
+
+    /// The configured out-degree budget.
+    pub const fn max_out_degree(&self) -> u32 {
+        self.max_out_degree
+    }
+
+    /// Builds the spanning tree rooted at `source` over `points`, bisecting
+    /// the smallest source-centered ball covering the input (the natural
+    /// 3-D covering region; a far-pole covering shell buys nothing in 3-D
+    /// because the octant split already bounds all three coordinates).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-finite coordinates; internal tree errors
+    /// indicate bugs.
+    pub fn build(
+        &self,
+        source: omt_geom::Point3,
+        points: &[omt_geom::Point3],
+    ) -> Result<omt_tree::MulticastTree<3>, crate::error::BuildError> {
+        use crate::error::BuildError;
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let mut builder = TreeBuilder::new(source, points.to_vec())
+            .max_out_degree(self.max_out_degree);
+        let sph: Vec<SphericalPoint> = points
+            .iter()
+            .map(|p| SphericalPoint::from_cartesian(&(*p - source)))
+            .collect();
+        let rho = sph.iter().map(|p| p.radius).fold(0.0f64, f64::max);
+        if rho == 0.0 {
+            fanout_chain3(&mut builder, self.max_out_degree)?;
+            return Ok(builder.finish()?);
+        }
+        let cell = ShellCell::ball(rho * (1.0 + 1e-9));
+        let idx: Vec<u32> = (0..points.len() as u32).collect();
+        if self.max_out_degree >= 8 {
+            bisect8(&mut builder, &sph, cell, ParentRef::Source, 0.0, idx)?;
+        } else {
+            bisect2_3d(&mut builder, &sph, cell, ParentRef::Source, 0.0, idx)?;
+        }
+        Ok(builder.finish()?)
+    }
+}
+
+#[cfg(test)]
+mod standalone_tests {
+    use super::*;
+    use omt_geom::{Ball, Point3, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_valid_trees_at_both_variants() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = Ball::<3>::unit().sample_n(&mut rng, 600);
+        for deg in [2u32, 5, 8, 12] {
+            let t = Bisection3::new(deg).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+            assert_eq!(t.len(), 600);
+            t.validate(Some(deg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn constant_factor_versus_lower_bound_3d() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for seed in 0..3u64 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let pts = Ball::<3>::unit().sample_n(&mut r, 400);
+            let lb = pts.iter().map(|p| p.norm()).fold(0.0f64, f64::max);
+            let t8 = Bisection3::new(8).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+            assert!(t8.radius() <= 8.0 * lb, "deg8 radius {}", t8.radius());
+            let t2 = Bisection3::new(2).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+            assert!(t2.radius() <= 14.0 * lb, "deg2 radius {}", t2.radius());
+        }
+        let _ = rng;
+    }
+
+    #[test]
+    fn rejects_degree_one_and_bad_points() {
+        assert!(Bisection3::new(1).is_err());
+        let b = Bisection3::new(4).unwrap();
+        assert!(b
+            .build(Point3::new([f64::NAN, 0.0, 0.0]), &[])
+            .is_err());
+        assert!(b
+            .build(Point3::ORIGIN, &[Point3::new([0.0, f64::INFINITY, 0.0])])
+            .is_err());
+    }
+
+    #[test]
+    fn degenerates() {
+        let b = Bisection3::new(2).unwrap();
+        assert!(b.build(Point3::ORIGIN, &[]).unwrap().is_empty());
+        let dup = vec![Point3::new([1.0, 1.0, 1.0]); 30];
+        let t = b.build(Point3::new([1.0, 1.0, 1.0]), &dup).unwrap();
+        assert_eq!(t.radius(), 0.0);
+        t.validate(Some(2)).unwrap();
+    }
+}

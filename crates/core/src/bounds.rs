@@ -1,0 +1,247 @@
+//! The paper's analytic bounds: equations (1), (2), (5), (7) and the
+//! occupancy lemmas (Lemmas 1 and 2).
+//!
+//! All formulas are stated for a disk of radius `rho`; the paper's unit-disk
+//! versions are recovered with `rho = 1`.
+
+use omt_geom::RingSegment;
+
+/// Arc length `Δ_i = 2π·ρ / √2^(k+i)` of a segment on circle `i` of the
+/// `k`-ring polar grid over a disk of radius `rho` (Section III-E).
+///
+/// ```
+/// use omt_core::bounds::delta;
+/// // Δ_0 on the unit disk with k = 4 rings: 2π / 2² = π/2.
+/// assert!((delta(4, 0, 1.0) - core::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+pub fn delta(k: u32, i: u32, rho: f64) -> f64 {
+    core::f64::consts::TAU * rho / 2f64.powf((k + i) as f64 / 2.0)
+}
+
+/// `S_k = Σ_{i=1}^{k-1} Δ_i` — the total angular contribution of the inner
+/// `k - 1` circles to the path-length bound (Section III-E).
+///
+/// Zero for `k ≤ 1`.
+pub fn s_k(k: u32, rho: f64) -> f64 {
+    (1..k).map(|i| delta(k, i, rho)).sum()
+}
+
+/// The upper bound of equation (7) evaluated at `j = 0` (the paper's choice
+/// for Table I, since `Δ_0 ≥ Δ_j` for all `j`):
+/// `ρ + c·Δ_0 + S_k`, where the arc coefficient `c` is 2 for the
+/// out-degree-6 tree and 4 for the out-degree-2 tree (Section IV-A doubles
+/// the arc contributions).
+///
+/// ```
+/// use omt_core::bounds::upper_bound_eq7;
+/// // Spot-check against Table I: at k = 4 the degree-6 bound is ≈ 6.59.
+/// let b = upper_bound_eq7(4, 6, 1.0);
+/// assert!((b - 6.593).abs() < 0.01, "{b}");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `max_out_degree < 2`.
+pub fn upper_bound_eq7(k: u32, max_out_degree: u32, rho: f64) -> f64 {
+    assert!(
+        max_out_degree >= 2,
+        "the paper's algorithms need degree >= 2"
+    );
+    let c = if max_out_degree >= 6 { 2.0 } else { 4.0 };
+    rho + c * delta(k, 0, rho) + s_k(k, rho)
+}
+
+/// Equation (1): upper bound on any path produced by the out-degree-4
+/// bisection algorithm inside a ring segment, for a source at radius `q`:
+/// `max(R - q, q - r) + 2·R·a`.
+pub fn bisection_bound_deg4(seg: &RingSegment, q: f64) -> f64 {
+    radial_extent(seg, q) + 2.0 * seg.r_hi() * seg.angle_width()
+}
+
+/// Equation (2): same bound for the out-degree-2 variant, whose angular
+/// term doubles: `max(R - q, q - r) + 4·R·a`.
+pub fn bisection_bound_deg2(seg: &RingSegment, q: f64) -> f64 {
+    radial_extent(seg, q) + 4.0 * seg.r_hi() * seg.angle_width()
+}
+
+fn radial_extent(seg: &RingSegment, q: f64) -> f64 {
+    (seg.r_hi() - q).max(q - seg.r_lo())
+}
+
+/// Lemma 1: if `n` balls are thrown uniformly and independently into
+/// `n^alpha` buckets, the probability that some bucket stays empty is at
+/// most `n^alpha · e^(-n^(1-alpha))`.
+///
+/// The return value is clamped to `[0, 1]` (the raw bound can exceed 1 for
+/// small `n`, where it is vacuous).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `alpha` is not finite.
+pub fn empty_bucket_probability_bound(n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one ball");
+    assert!(alpha.is_finite(), "alpha must be finite");
+    let nf = n as f64;
+    let bound = nf.powf(alpha) * (-nf.powf(1.0 - alpha)).exp();
+    bound.clamp(0.0, 1.0)
+}
+
+/// Lemma 2's guarantee: for `alpha ≤ 1/2` the Lemma-1 bound is at most
+/// `e^(-1)` for every `n ≥ 1`. Exposed for tests and documentation.
+pub const LEMMA2_CEILING: f64 = 0.36787944117144233; // e^(-1)
+
+/// Equation (5): the whp lower bound `k ≥ ½·log2(n)` on the number of grid
+/// rings, used to argue that `k → ∞` with `n`.
+///
+/// Returns 0 for `n ≤ 1`.
+pub fn min_rings_estimate(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        ((n as f64).log2() / 2.0).floor() as u32
+    }
+}
+
+/// The number of cells of the `k`-ring grid: `2^(k+1) - 1` (inner disk plus
+/// `2^i` segments on each ring `1 ≤ i ≤ k`).
+pub fn grid_cell_count(k: u32) -> u64 {
+    (1u64 << (k + 1)) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_matches_closed_form() {
+        // Δ_i = 2π / √2^(k+i) on the unit disk.
+        let k = 6;
+        for i in 0..=k {
+            let expected = core::f64::consts::TAU / 2f64.sqrt().powi((k + i) as i32);
+            assert!((delta(k, i, 1.0) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delta_is_decreasing_in_i() {
+        for i in 0..10 {
+            assert!(delta(10, i, 1.0) > delta(10, i + 1, 1.0));
+        }
+    }
+
+    #[test]
+    fn s_k_is_sum_of_inner_arcs() {
+        assert_eq!(s_k(0, 1.0), 0.0);
+        assert_eq!(s_k(1, 1.0), 0.0);
+        let k = 5;
+        let manual: f64 = (1..k).map(|i| delta(k, i, 1.0)).sum();
+        assert_eq!(s_k(k, 1.0), manual);
+    }
+
+    #[test]
+    fn bound_reproduces_table1_row_100() {
+        // Table I, n = 100: average rings 3.61, bounds 7.18 (deg 6) and
+        // 10.74 (deg 2). Mixing k = 3 and k = 4 with weights (0.39, 0.61)
+        // reproduces both printed values to ~1%.
+        let mix =
+            |deg: u32| 0.39 * upper_bound_eq7(3, deg, 1.0) + 0.61 * upper_bound_eq7(4, deg, 1.0);
+        assert!((mix(6) - 7.18).abs() < 0.05, "deg6 {}", mix(6));
+        assert!((mix(2) - 10.74).abs() < 0.12, "deg2 {}", mix(2));
+    }
+
+    #[test]
+    fn bound_approaches_disk_radius() {
+        // As k grows, the bound converges to rho from above (Theorem 2).
+        let b20 = upper_bound_eq7(20, 6, 1.0);
+        let b30 = upper_bound_eq7(30, 6, 1.0);
+        assert!(b20 > b30 && b30 > 1.0);
+        assert!(b30 - 1.0 < 1e-3);
+    }
+
+    #[test]
+    fn bound_scales_linearly_with_rho() {
+        let b1 = upper_bound_eq7(8, 6, 1.0);
+        let b3 = upper_bound_eq7(8, 6, 3.0);
+        assert!((b3 - 3.0 * b1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_2_bound_exceeds_degree_6() {
+        for k in 1..20 {
+            assert!(upper_bound_eq7(k, 2, 1.0) > upper_bound_eq7(k, 6, 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree >= 2")]
+    fn bound_rejects_degree_1() {
+        let _ = upper_bound_eq7(5, 1, 1.0);
+    }
+
+    #[test]
+    fn bisection_bounds() {
+        let seg = RingSegment::new(0.6, 1.0, 0.0, 0.1);
+        // Source on the inner arc.
+        let b4 = bisection_bound_deg4(&seg, 0.6);
+        assert!((b4 - (0.4 + 2.0 * 0.1)).abs() < 1e-12);
+        let b2 = bisection_bound_deg2(&seg, 0.6);
+        assert!((b2 - (0.4 + 4.0 * 0.1)).abs() < 1e-12);
+        // Source in the middle: radial extent is the max one-sided distance.
+        let b_mid = bisection_bound_deg4(&seg, 0.9);
+        assert!((b_mid - (0.3 + 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_bound_behaviour() {
+        // Exactly e^-1 at n = 1 (Lemma 2 is tight there), vanishing for
+        // large n at alpha = 1/2.
+        let p1 = empty_bucket_probability_bound(1, 0.5);
+        assert!((p1 - LEMMA2_CEILING).abs() < 1e-15);
+        let p = empty_bucket_probability_bound(1_000_000, 0.5);
+        assert!(p < 1e-300, "{p}");
+        // Monotone vanishing along a sample of sizes.
+        let mut last = 1.0;
+        for &n in &[10u64, 100, 1000, 10_000] {
+            let p = empty_bucket_probability_bound(n, 0.5);
+            assert!(p <= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn lemma2_ceiling_holds_for_alpha_half() {
+        for n in 1..2000u64 {
+            let p = empty_bucket_probability_bound(n, 0.5);
+            assert!(p <= LEMMA2_CEILING + 1e-12, "n = {n}: {p} > e^-1");
+        }
+    }
+
+    #[test]
+    fn lemma2_fails_above_half() {
+        // For alpha > 1/2 the e^-1 ceiling is violated at some small n,
+        // which is exactly why the paper restricts to alpha <= 1/2.
+        let worst = (1..100u64)
+            .map(|n| empty_bucket_probability_bound(n, 0.9))
+            .fold(0.0, f64::max);
+        assert!(worst > LEMMA2_CEILING);
+    }
+
+    #[test]
+    fn min_rings_eq5() {
+        assert_eq!(min_rings_estimate(0), 0);
+        assert_eq!(min_rings_estimate(1), 0);
+        assert_eq!(min_rings_estimate(4), 1);
+        assert_eq!(min_rings_estimate(100), 3);
+        assert_eq!(min_rings_estimate(1_000_000), 9);
+    }
+
+    #[test]
+    fn cell_count_formula() {
+        assert_eq!(grid_cell_count(0), 1);
+        assert_eq!(grid_cell_count(1), 3);
+        assert_eq!(grid_cell_count(4), 31);
+        // 1 (inner disk) + sum of 2^i segments.
+        let manual: u64 = 1 + (1..=10).map(|i| 1u64 << i).sum::<u64>();
+        assert_eq!(grid_cell_count(10), manual);
+    }
+}

@@ -1,0 +1,475 @@
+//! Heterogeneous fan-out capacities.
+//!
+//! The paper fixes one out-degree budget for every host ("it is natural to
+//! assume that each participating host has a fixed bound"); real fleets
+//! mix servers (high uplink) with consumer links (one stream, or none).
+//! [`HeteroGridBuilder`] extends the polar-grid construction to per-host
+//! capacities:
+//!
+//! 1. hosts with capacity ≥ 2 ("relays") carry the degree-2 polar-grid
+//!    construction — every structural role in the Section IV-A wiring
+//!    needs at most 2 out-links, so any relay can fill any role;
+//! 2. constrained hosts (capacity 0 or 1) are then attached greedily —
+//!    capacity-1 hosts first (slot-neutral), then capacity-0 hosts, each
+//!    to the delay-minimizing host with residual capacity; capacity-1
+//!    hosts join the candidate pool once attached, so chains form exactly
+//!    where capacity is scarce.
+//!
+//! The second stage scans the candidate pool per constrained host
+//! (`O(n_constrained · pool)`), which is fine for the mixed fleets this
+//! models; fully-constrained fleets degenerate to the greedy baseline.
+
+use omt_geom::Point2;
+use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
+
+use crate::error::BuildError;
+use crate::polar_grid::PolarGridBuilder;
+
+/// Diagnostics of a heterogeneous build.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeteroReport {
+    /// Number of relay hosts (capacity ≥ 2) that carried the grid.
+    pub relays: usize,
+    /// Number of constrained hosts (capacity 0 or 1) attached greedily.
+    pub constrained: usize,
+    /// The tree radius.
+    pub delay: f64,
+    /// The universal lower bound (max direct distance).
+    pub lower_bound: f64,
+}
+
+/// Builder for trees over hosts with per-host fan-out capacities.
+///
+/// # Examples
+///
+/// ```
+/// use omt_core::HeteroGridBuilder;
+/// use omt_geom::Point2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let points = vec![
+///     Point2::new([1.0, 0.0]),
+///     Point2::new([0.5, 0.5]),
+///     Point2::new([-0.5, 0.2]),
+/// ];
+/// // Host 1 is a server; hosts 0 and 2 can barely forward.
+/// let capacities = vec![1, 8, 0];
+/// let (tree, report) = HeteroGridBuilder::new()
+///     .source_capacity(2)
+///     .build(Point2::ORIGIN, &points, &capacities)?;
+/// assert_eq!(tree.len(), 3);
+/// assert!(tree.out_degree(2) == 0); // capacity-0 host is a leaf
+/// # let _ = report;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeteroGridBuilder {
+    source_capacity: u32,
+}
+
+impl Default for HeteroGridBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeteroGridBuilder {
+    /// Creates a builder with source capacity 2 (the minimum the grid
+    /// construction needs).
+    pub fn new() -> Self {
+        Self { source_capacity: 2 }
+    }
+
+    /// Sets the source's fan-out capacity.
+    #[must_use]
+    pub fn source_capacity(mut self, capacity: u32) -> Self {
+        self.source_capacity = capacity;
+        self
+    }
+
+    /// Builds the tree. `capacities[i]` is host `i`'s fan-out budget.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::DegreeTooSmall`] if the source capacity is below 2
+    ///   while relays exist (the grid needs both source links), or if the
+    ///   total capacity cannot host every node;
+    /// * [`BuildError::NonFiniteSource`] / [`BuildError::NonFinitePoint`]
+    ///   for bad coordinates;
+    /// * a capacity slice of the wrong length is a programming error and
+    ///   panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len() != points.len()`.
+    pub fn build(
+        &self,
+        source: Point2,
+        points: &[Point2],
+        capacities: &[u32],
+    ) -> Result<(MulticastTree<2>, HeteroReport), BuildError> {
+        assert_eq!(
+            capacities.len(),
+            points.len(),
+            "one capacity per point required"
+        );
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let n = points.len();
+        // Feasibility: the tree has n edges; the source plus all hosts
+        // must offer at least n outgoing slots in aggregate.
+        let total: u64 =
+            u64::from(self.source_capacity) + capacities.iter().map(|&c| u64::from(c)).sum::<u64>();
+        if (total as usize) < n {
+            return Err(BuildError::DegreeTooSmall {
+                got: self.source_capacity,
+                min: 2,
+            });
+        }
+        let relays: Vec<usize> = (0..n).filter(|&i| capacities[i] >= 2).collect();
+        let constrained: Vec<usize> = (0..n).filter(|&i| capacities[i] < 2).collect();
+        if !relays.is_empty() && self.source_capacity < 2 {
+            return Err(BuildError::DegreeTooSmall {
+                got: self.source_capacity,
+                min: 2,
+            });
+        }
+        if n > 0 && self.source_capacity == 0 {
+            // Nothing can ever attach to the source.
+            return Err(BuildError::DegreeTooSmall { got: 0, min: 1 });
+        }
+
+        let mut builder = TreeBuilder::new(source, points.to_vec());
+        let mut residual: Vec<u32> = capacities.to_vec();
+        let mut residual_source = self.source_capacity;
+
+        // Stage 1: degree-2 polar grid over the relays, replayed into the
+        // full builder.
+        if !relays.is_empty() {
+            let relay_points: Vec<Point2> = relays.iter().map(|&i| points[i]).collect();
+            let relay_tree = PolarGridBuilder::new()
+                .max_out_degree(2)
+                .build(source, &relay_points)?;
+            for local in relay_tree.iter_bfs() {
+                let global = relays[local];
+                match relay_tree.parent(local) {
+                    ParentRef::Source => {
+                        builder.attach_to_source(global)?;
+                        residual_source -= 1;
+                    }
+                    ParentRef::Node(p) => {
+                        let gp = relays[p];
+                        builder.attach(global, gp)?;
+                        residual[gp] -= 1;
+                    }
+                }
+            }
+        }
+
+        // Stage 2: constrained hosts, each to the delay-minimizing open
+        // slot. Capacity-1 hosts go before capacity-0 hosts (then closest
+        // first): a capacity-1 attach is slot-neutral while a capacity-0
+        // attach burns a slot, so this order never strands feasible
+        // capacity behind exhausted slots (a distance-only order can).
+        let mut order: Vec<usize> = constrained.clone();
+        order.sort_by(|&a, &b| {
+            capacities[b].cmp(&capacities[a]).then(
+                source
+                    .distance(&points[a])
+                    .total_cmp(&source.distance(&points[b])),
+            )
+        });
+        // Candidate pool: attached hosts with residual capacity.
+        let mut pool: Vec<usize> = relays
+            .iter()
+            .copied()
+            .filter(|&r| residual[r] > 0)
+            .collect();
+        for node in order {
+            // Best candidate by resulting delay; the source competes too.
+            let mut best: Option<(f64, Option<usize>)> = None;
+            if residual_source > 0 {
+                best = Some((source.distance(&points[node]), None));
+            }
+            for &c in &pool {
+                let d = builder.depth_of(c).expect("pool members are attached")
+                    + points[c].distance(&points[node]);
+                if best.is_none() || d < best.expect("checked").0 {
+                    best = Some((d, Some(c)));
+                }
+            }
+            match best {
+                Some((_, None)) => {
+                    builder.attach_to_source(node)?;
+                    residual_source -= 1;
+                }
+                Some((_, Some(p))) => {
+                    builder.attach(node, p)?;
+                    residual[p] -= 1;
+                    if residual[p] == 0 {
+                        pool.retain(|&x| x != p);
+                    }
+                }
+                None => {
+                    // Aggregate capacity was sufficient but everything
+                    // reachable is saturated — cannot happen: every attach
+                    // consumes one slot and adds `capacity[node]` slots, so
+                    // the running residual never hits zero before n attaches
+                    // when the total is at least n.
+                    unreachable!("aggregate capacity admits a spanning tree");
+                }
+            }
+            if residual[node] > 0 {
+                pool.push(node);
+            }
+        }
+
+        let tree = builder.finish()?;
+        let lower_bound = points
+            .iter()
+            .map(|p| p.distance(&source))
+            .fold(0.0, f64::max);
+        let report = HeteroReport {
+            relays: relays.len(),
+            constrained: constrained.len(),
+            delay: tree.radius(),
+            lower_bound,
+        };
+        Ok((tree, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{Disk, Region};
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn check_capacities(tree: &MulticastTree<2>, capacities: &[u32], source_cap: u32) {
+        assert!(tree.source_out_degree() <= source_cap);
+        for (i, &cap) in capacities.iter().enumerate() {
+            assert!(
+                tree.out_degree(i) <= cap,
+                "node {i}: degree {} > capacity {cap}",
+                tree.out_degree(i)
+            );
+        }
+        tree.validate(None).unwrap();
+    }
+
+    #[test]
+    fn mixed_fleet_respects_capacities() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = Disk::unit().sample_n(&mut rng, 2000);
+        // 30% servers (6), 50% modest (2), 15% single (1), 5% leeches (0).
+        let caps: Vec<u32> = (0..2000)
+            .map(|_| match rng.random_range(0..20u32) {
+                0..=5 => 6,
+                6..=15 => 2,
+                16..=18 => 1,
+                _ => 0,
+            })
+            .collect();
+        let (tree, report) = HeteroGridBuilder::new()
+            .source_capacity(6)
+            .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+            .unwrap();
+        assert_eq!(tree.len(), 2000);
+        check_capacities(&tree, &caps, 6);
+        assert!(report.relays + report.constrained == 2000);
+        // Quality: still near-optimal with plenty of relays.
+        assert!(
+            report.delay < 2.0 * report.lower_bound,
+            "delay {} vs lb {}",
+            report.delay,
+            report.lower_bound
+        );
+    }
+
+    #[test]
+    fn all_relays_equals_deg2_grid() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts = Disk::unit().sample_n(&mut rng, 500);
+        let caps = vec![2u32; 500];
+        let (tree, report) = HeteroGridBuilder::new()
+            .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+            .unwrap();
+        let reference = PolarGridBuilder::new()
+            .max_out_degree(2)
+            .build(omt_geom::Point2::ORIGIN, &pts)
+            .unwrap();
+        assert_eq!(tree.radius(), reference.radius());
+        assert_eq!(report.constrained, 0);
+        check_capacities(&tree, &caps, 2);
+    }
+
+    #[test]
+    fn capacity_one_hosts_form_chains() {
+        // Source cap 1, every host cap 1: the only feasible shape is a
+        // single chain.
+        let pts: Vec<omt_geom::Point2> = (1..=20)
+            .map(|i| omt_geom::Point2::new([i as f64 * 0.1, 0.0]))
+            .collect();
+        let caps = vec![1u32; 20];
+        let (tree, _) = HeteroGridBuilder::new()
+            .source_capacity(1)
+            .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+            .unwrap();
+        assert_eq!(tree.max_hops(), 20);
+        check_capacities(&tree, &caps, 1);
+    }
+
+    #[test]
+    fn zero_capacity_hosts_are_leaves() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pts = Disk::unit().sample_n(&mut rng, 200);
+        let mut caps = vec![4u32; 200];
+        for i in (0..200).step_by(3) {
+            caps[i] = 0;
+        }
+        let (tree, _) = HeteroGridBuilder::new()
+            .source_capacity(4)
+            .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+            .unwrap();
+        for i in (0..200).step_by(3) {
+            assert_eq!(tree.out_degree(i), 0, "capacity-0 host {i} has children");
+        }
+        check_capacities(&tree, &caps, 4);
+    }
+
+    #[test]
+    fn infeasible_capacity_rejected() {
+        let pts = vec![omt_geom::Point2::new([1.0, 0.0]); 5];
+        // Total slots = 2 (source) + 0 = 2 < 5 nodes.
+        assert!(matches!(
+            HeteroGridBuilder::new().build(omt_geom::Point2::ORIGIN, &pts, &[0, 0, 0, 0, 0]),
+            Err(BuildError::DegreeTooSmall { .. })
+        ));
+        // Source capacity 1 with relays present is rejected too.
+        assert!(matches!(
+            HeteroGridBuilder::new().source_capacity(1).build(
+                omt_geom::Point2::ORIGIN,
+                &pts,
+                &[6, 6, 6, 6, 6]
+            ),
+            Err(BuildError::DegreeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn exactly_feasible_capacity_succeeds() {
+        // Total slots exactly n: source 2 + capacities summing to n - 2.
+        let pts = vec![
+            omt_geom::Point2::new([1.0, 0.0]),
+            omt_geom::Point2::new([2.0, 0.0]),
+            omt_geom::Point2::new([3.0, 0.0]),
+            omt_geom::Point2::new([4.0, 0.0]),
+        ];
+        let caps = vec![1, 1, 0, 0];
+        let (tree, _) = HeteroGridBuilder::new()
+            .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+            .unwrap();
+        assert_eq!(tree.len(), 4);
+        check_capacities(&tree, &caps, 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (tree, report) = HeteroGridBuilder::new()
+            .build(omt_geom::Point2::ORIGIN, &[], &[])
+            .unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(report.relays, 0);
+        // Single capacity-0 host: attaches to the source.
+        let (tree, _) = HeteroGridBuilder::new()
+            .source_capacity(1)
+            .build(
+                omt_geom::Point2::ORIGIN,
+                &[omt_geom::Point2::new([0.5, 0.0])],
+                &[0],
+            )
+            .unwrap();
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per point")]
+    fn capacity_length_checked() {
+        let _ = HeteroGridBuilder::new().build(
+            omt_geom::Point2::ORIGIN,
+            &[omt_geom::Point2::new([1.0, 0.0])],
+            &[],
+        );
+    }
+
+    #[test]
+    fn more_relays_means_lower_delay() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pts = Disk::unit().sample_n(&mut rng, 1500);
+        let delay_for = |relay_fraction: f64, rng: &mut SmallRng| {
+            let caps: Vec<u32> = (0..1500)
+                .map(|_| {
+                    if rng.random::<f64>() < relay_fraction {
+                        4
+                    } else {
+                        1
+                    }
+                })
+                .collect();
+            HeteroGridBuilder::new()
+                .source_capacity(4)
+                .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+                .unwrap()
+                .1
+                .delay
+        };
+        let rich = delay_for(0.9, &mut rng);
+        let poor = delay_for(0.05, &mut rng);
+        assert!(rich < poor, "rich {rich} vs poor {poor}");
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+
+    /// The stranding scenario a distance-only order fails on: capacity-0
+    /// hosts closest to the source, exactly-feasible totals.
+    #[test]
+    fn capacity_zero_hosts_cannot_strand_capacity_one_hosts() {
+        let pts = vec![
+            omt_geom::Point2::new([0.1, 0.0]), // cap 0, closest
+            omt_geom::Point2::new([0.1, 0.1]), // cap 0
+            omt_geom::Point2::new([0.9, 0.0]), // cap 1, far
+            omt_geom::Point2::new([0.9, 0.1]), // cap 1
+            omt_geom::Point2::new([0.9, 0.2]), // cap 1
+        ];
+        let caps = vec![0, 0, 1, 1, 1];
+        // Total = 2 (source) + 3 = 5 = n: exactly feasible.
+        let (tree, _) = HeteroGridBuilder::new()
+            .build(omt_geom::Point2::ORIGIN, &pts, &caps)
+            .unwrap();
+        assert_eq!(tree.len(), 5);
+        assert!(tree.source_out_degree() <= 2);
+        for (i, &cap) in caps.iter().enumerate() {
+            assert!(tree.out_degree(i) <= cap);
+        }
+    }
+
+    #[test]
+    fn zero_source_capacity_rejected() {
+        let pts = vec![omt_geom::Point2::new([1.0, 0.0])];
+        assert!(matches!(
+            HeteroGridBuilder::new()
+                .source_capacity(0)
+                .build(omt_geom::Point2::ORIGIN, &pts, &[5]),
+            Err(BuildError::DegreeTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,849 @@
+//! Algorithm `Polar_Grid` (Section III of the paper): the asymptotically
+//! optimal construction.
+//!
+//! The algorithm proceeds in three stages:
+//!
+//! 1. build an equal-area polar grid over the smallest disk centered at the
+//!    source that covers all points, choosing the number of rings `k` as
+//!    large as possible such that every *active* non-outermost cell is
+//!    occupied (see [`crate::kselect`]);
+//! 2. connect cell representatives in a binary core tree rooted at the
+//!    source — each representative adopts the representatives of the two
+//!    aligned cells on the next ring;
+//! 3. connect the remaining points inside each cell with the bisection
+//!    algorithm.
+//!
+//! With the 4-way bisection this yields out-degree ≤ 6 (2 core links +
+//! 4 bisection links per representative); the out-degree-2 wiring of
+//! Section IV-A threads the core through two designated in-cell points
+//! instead. Because the source is the grid pole, the construction also
+//! handles arbitrary convex regions with any interior source placement
+//! (Section IV-C): the covering disk is built around the source, and the
+//! active-cell rule tolerates the empty cells outside the region.
+
+use omt_geom::{Point2, PolarPoint};
+use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
+
+use crate::bisect2d::{attach, bisect2, bisect4, fanout_chain};
+use crate::bounds::upper_bound_eq7;
+use crate::error::BuildError;
+use crate::grid2::PolarGrid2;
+use crate::kselect::{
+    bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
+};
+
+/// How a cell representative is chosen — the paper uses the point closest
+/// to the disk center ("on the inner arc of the segment"); the alternatives
+/// exist for the ablation experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepStrategy {
+    /// The point closest to the midpoint of the cell's inner arc — the
+    /// paper's rule read literally ("closest to the center on the inner
+    /// arc of the segment"): minimal radius *and* central angle.
+    #[default]
+    InnerArcMid,
+    /// The point with minimal radius (the reading the paper's analysis
+    /// uses: "we pick the least-radius point").
+    MinRadius,
+    /// The point with maximal radius (ablation: pessimal-ish choice).
+    MaxRadius,
+    /// The first point in input order (ablation: arbitrary choice).
+    First,
+}
+
+/// Diagnostics of a [`PolarGridBuilder`] run, matching the columns of
+/// Table I in the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolarGridReport {
+    /// The number of grid rings `k` ("Rings").
+    pub rings: u32,
+    /// The longest source-to-receiver delay in the tree ("Delay").
+    pub delay: f64,
+    /// The longest source-to-representative portion of any path ("Core").
+    pub core_delay: f64,
+    /// The analytic upper bound of equation (7) at `j = 0` ("Bound").
+    pub bound: f64,
+    /// The trivial lower bound on the optimum: the largest direct
+    /// source-to-point distance (approaches the disk radius).
+    pub lower_bound: f64,
+    /// Total number of grid cells, `2^(k+1) - 1`.
+    pub cells: usize,
+    /// Number of cells containing at least one point.
+    pub occupied_cells: usize,
+}
+
+/// Builder for the `Polar_Grid` algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use omt_core::PolarGridBuilder;
+/// use omt_geom::{Disk, Point2, Region};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let points = Disk::unit().sample_n(&mut rng, 2000);
+/// let (tree, report) = PolarGridBuilder::new()
+///     .max_out_degree(6)
+///     .build_with_report(Point2::ORIGIN, &points)?;
+/// tree.validate(Some(6))?;
+/// assert!(report.delay <= report.bound);
+/// assert!(report.delay >= report.lower_bound);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolarGridBuilder {
+    max_out_degree: u32,
+    rings_override: Option<u32>,
+    rep_strategy: RepStrategy,
+}
+
+impl Default for PolarGridBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolarGridBuilder {
+    /// Creates a builder with the paper's defaults: out-degree 6,
+    /// automatic ring selection, inner-arc-midpoint representatives.
+    pub fn new() -> Self {
+        Self {
+            max_out_degree: 6,
+            rings_override: None,
+            rep_strategy: RepStrategy::InnerArcMid,
+        }
+    }
+
+    /// Sets the out-degree budget. Budgets of 6 and above use the
+    /// degree-6 construction (Section III); budgets 2–5 use the
+    /// degree-2 wiring (Section IV-A). Budgets below 2 fail at build time.
+    #[must_use]
+    pub fn max_out_degree(mut self, budget: u32) -> Self {
+        self.max_out_degree = budget;
+        self
+    }
+
+    /// Forces a specific number of rings instead of the automatic maximal
+    /// feasible choice. Fails at build time if infeasible.
+    #[must_use]
+    pub fn rings(mut self, k: u32) -> Self {
+        self.rings_override = Some(k);
+        self
+    }
+
+    /// Overrides the representative selection rule (for ablations).
+    #[must_use]
+    pub fn representative_strategy(mut self, strategy: RepStrategy) -> Self {
+        self.rep_strategy = strategy;
+        self
+    }
+
+    /// Builds the multicast tree.
+    ///
+    /// # Errors
+    ///
+    /// See [`PolarGridBuilder::build_with_report`].
+    pub fn build(&self, source: Point2, points: &[Point2]) -> Result<MulticastTree<2>, BuildError> {
+        self.build_with_report(source, points).map(|(t, _)| t)
+    }
+
+    /// Builds the multicast tree and returns the Table-I diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::DegreeTooSmall`] for out-degree budgets below 2;
+    /// * [`BuildError::NonFiniteSource`] / [`BuildError::NonFinitePoint`]
+    ///   for NaN or infinite coordinates;
+    /// * [`BuildError::InfeasibleRings`] if a [`PolarGridBuilder::rings`]
+    ///   override cannot keep every active interior cell occupied.
+    pub fn build_with_report(
+        &self,
+        source: Point2,
+        points: &[Point2],
+    ) -> Result<(MulticastTree<2>, PolarGridReport), BuildError> {
+        if self.max_out_degree < 2 {
+            return Err(BuildError::DegreeTooSmall {
+                got: self.max_out_degree,
+                min: 2,
+            });
+        }
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let n = points.len();
+        let mut builder =
+            TreeBuilder::new(source, points.to_vec()).max_out_degree(self.max_out_degree);
+        if n == 0 {
+            let tree = builder.finish()?;
+            return Ok((
+                tree,
+                PolarGridReport {
+                    rings: 0,
+                    delay: 0.0,
+                    core_delay: 0.0,
+                    bound: 0.0,
+                    lower_bound: 0.0,
+                    cells: 1,
+                    occupied_cells: 0,
+                },
+            ));
+        }
+
+        // Polar coordinates relative to the source (the grid pole).
+        let polar: Vec<PolarPoint> = points
+            .iter()
+            .map(|p| PolarPoint::from_cartesian(&(*p - source)))
+            .collect();
+        let lower_bound = polar.iter().map(|p| p.radius).fold(0.0, f64::max);
+        if lower_bound == 0.0 {
+            // Every point coincides with the source.
+            fanout_chain(&mut builder, self.max_out_degree)?;
+            let tree = builder.finish()?;
+            return Ok((
+                tree,
+                PolarGridReport {
+                    rings: 0,
+                    delay: 0.0,
+                    core_delay: 0.0,
+                    bound: 0.0,
+                    lower_bound: 0.0,
+                    cells: 1,
+                    occupied_cells: 1,
+                },
+            ));
+        }
+        // Covering disk radius: strictly above the farthest point so the
+        // half-open outermost ring contains it.
+        let rho = lower_bound * (1.0 + 1e-9);
+
+        // Assign every point once at the finest level, then select k.
+        let k_max = finest_level(n);
+        let finest = PolarGrid2::new(k_max, rho);
+        let scale = (1u64 << k_max) as f64 / core::f64::consts::TAU;
+        let assignments = Assignments {
+            k_max,
+            ring: polar
+                .iter()
+                .map(|p| finest.ring_of_radius(p.radius))
+                .collect(),
+            path: polar
+                .iter()
+                .map(|p| ((p.angle * scale) as u64).min((1u64 << k_max) - 1))
+                .collect(),
+        };
+        let (k_auto, _) = select_rings(&assignments);
+        let k = match self.rings_override {
+            None => k_auto,
+            Some(req) => {
+                if req <= k_auto {
+                    req
+                } else {
+                    return Err(BuildError::InfeasibleRings {
+                        requested: req,
+                        feasible: k_auto,
+                    });
+                }
+            }
+        };
+
+        let grid = PolarGrid2::new(k, rho);
+        let deg6 = self.max_out_degree >= 6;
+
+        // Bucket points per cell (counting sort into CSR lists).
+        let cells = cell_count(k);
+        let (counts, members) = bucket_cells(&assignments, k);
+        let cell_members = |c: usize| &members[counts[c] as usize..counts[c + 1] as usize];
+        let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
+
+        // Wire the tree ring by ring.
+        let mut core_delay = 0.0f64;
+        if deg6 {
+            // rep_ref[cell] = the representative the cell's children attach to.
+            let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            // Ring 0: the source is the representative; bisect the rest.
+            bisect4(
+                &mut builder,
+                &polar,
+                grid.segment(0, 0),
+                ParentRef::Source,
+                0.0,
+                cell_members(0).to_vec(),
+            )?;
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let mem = cell_members(c);
+                    if mem.is_empty() {
+                        continue;
+                    }
+                    let cell_seg = grid.segment(ring, seg);
+                    let inner_mid =
+                        PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
+                    let rep = self.pick_rep(&polar, mem, inner_mid);
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach(&mut builder, rep as usize, rep_ref[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(builder.depth_of(rep as usize).expect("just attached"));
+                    rep_ref[c] = ParentRef::Node(rep as usize);
+                    let rest: Vec<u32> = mem.iter().copied().filter(|&p| p != rep).collect();
+                    bisect4(
+                        &mut builder,
+                        &polar,
+                        grid.segment(ring, seg),
+                        ParentRef::Node(rep as usize),
+                        polar[rep as usize].radius,
+                        rest,
+                    )?;
+                }
+            }
+        } else {
+            // Degree-2 wiring (Section IV-A): each cell exposes a
+            // "connector" with spare budget 2 that adopts the
+            // representatives of the cell's occupied children.
+            let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            // Ring 0 — the source is the representative.
+            {
+                let mem = cell_members(0);
+                let has_core_children = k >= 1
+                    && (!cell_members(cell_index(1, 0)).is_empty()
+                        || !cell_members(cell_index(1, 1)).is_empty());
+                connector[0] = self.wire_cell_deg2(
+                    &mut builder,
+                    &polar,
+                    &grid,
+                    0,
+                    0,
+                    ParentRef::Source,
+                    0.0,
+                    mem,
+                    None,
+                    has_core_children,
+                )?;
+            }
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let mem = cell_members(c);
+                    if mem.is_empty() {
+                        continue;
+                    }
+                    let cell_seg = grid.segment(ring, seg);
+                    let inner_mid =
+                        PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
+                    let rep = self.pick_rep(&polar, mem, inner_mid);
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach(&mut builder, rep as usize, connector[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(builder.depth_of(rep as usize).expect("just attached"));
+                    let has_core_children = match grid.children(ring, seg) {
+                        None => false,
+                        Some(kids) => kids
+                            .iter()
+                            .any(|&(r, s)| !cell_members(cell_index(r, s)).is_empty()),
+                    };
+                    connector[c] = self.wire_cell_deg2(
+                        &mut builder,
+                        &polar,
+                        &grid,
+                        ring,
+                        seg,
+                        ParentRef::Node(rep as usize),
+                        polar[rep as usize].radius,
+                        mem,
+                        Some(rep),
+                        has_core_children,
+                    )?;
+                }
+            }
+        }
+
+        let tree = builder.finish()?;
+        let delay = tree.radius();
+        let report = PolarGridReport {
+            rings: k,
+            delay,
+            core_delay,
+            bound: upper_bound_eq7(k, self.max_out_degree, rho),
+            lower_bound,
+            cells,
+            occupied_cells,
+        };
+        Ok((tree, report))
+    }
+
+    /// Chooses the representative of a non-empty cell; `inner_mid` is the
+    /// midpoint of the cell's inner arc in the source-relative frame.
+    fn pick_rep(&self, polar: &[PolarPoint], members: &[u32], inner_mid: Point2) -> u32 {
+        debug_assert!(!members.is_empty());
+        match self.rep_strategy {
+            RepStrategy::InnerArcMid => *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let da = polar[a as usize]
+                        .to_cartesian()
+                        .distance_squared(&inner_mid);
+                    let db = polar[b as usize]
+                        .to_cartesian()
+                        .distance_squared(&inner_mid);
+                    da.total_cmp(&db)
+                })
+                .expect("nonempty"),
+            RepStrategy::MinRadius => *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    polar[a as usize]
+                        .radius
+                        .total_cmp(&polar[b as usize].radius)
+                })
+                .expect("nonempty"),
+            RepStrategy::MaxRadius => *members
+                .iter()
+                .max_by(|&&a, &&b| {
+                    polar[a as usize]
+                        .radius
+                        .total_cmp(&polar[b as usize].radius)
+                })
+                .expect("nonempty"),
+            RepStrategy::First => members[0],
+        }
+    }
+
+    /// Wires the inside of one cell in the degree-2 scheme and returns the
+    /// cell's connector — the node (or source) with ≥ 2 spare out-links
+    /// that will adopt the representatives of the occupied child cells.
+    ///
+    /// `rep` is `None` for the inner disk (the source is the
+    /// representative there and `rep_ref` is `ParentRef::Source`).
+    #[allow(clippy::too_many_arguments)]
+    fn wire_cell_deg2(
+        &self,
+        builder: &mut TreeBuilder<2>,
+        polar: &[PolarPoint],
+        grid: &PolarGrid2,
+        ring: u32,
+        seg: u64,
+        rep_ref: ParentRef,
+        rep_radius: f64,
+        members: &[u32],
+        rep: Option<u32>,
+        has_core_children: bool,
+    ) -> Result<ParentRef, BuildError> {
+        // The points still to be wired inside the cell.
+        let mut rest: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|&p| Some(p) != rep)
+            .collect();
+        match rest.len() {
+            0 => {
+                // Case 1: the representative alone (or the bare source for
+                // the inner disk); it has both links spare.
+                Ok(rep_ref)
+            }
+            1 => {
+                // Case 2: rep -> other; the other point becomes the
+                // connector with both links spare.
+                let other = rest[0];
+                attach(builder, other as usize, rep_ref)?;
+                Ok(ParentRef::Node(other as usize))
+            }
+            _ => {
+                // Case 3: rep -> {bisection source, connector}; the
+                // connector keeps both links for the child cells. When the
+                // cell has no occupied children the connector is skipped
+                // and every spare point goes through the bisection.
+                let connector = if has_core_children {
+                    // The point nearest the representative: the extra
+                    // rep -> connector hop stays short, so the core costs
+                    // roughly one degree-6 hop per ring plus a local step.
+                    let rep_pos = match rep_ref {
+                        ParentRef::Source => omt_geom::Point2::ORIGIN,
+                        ParentRef::Node(r) => polar[r].to_cartesian(),
+                    };
+                    let pos = rest
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            let da = polar[*a.1 as usize]
+                                .to_cartesian()
+                                .distance_squared(&rep_pos);
+                            let db = polar[*b.1 as usize]
+                                .to_cartesian()
+                                .distance_squared(&rep_pos);
+                            da.total_cmp(&db)
+                        })
+                        .map(|(i, _)| i)
+                        .expect("nonempty");
+                    let x = rest.swap_remove(pos);
+                    attach(builder, x as usize, rep_ref)?;
+                    Some(ParentRef::Node(x as usize))
+                } else {
+                    None
+                };
+                if !rest.is_empty() {
+                    // Bisection source: radius closest to the representative.
+                    let pos = rest
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            (polar[*a.1 as usize].radius - rep_radius)
+                                .abs()
+                                .total_cmp(&(polar[*b.1 as usize].radius - rep_radius).abs())
+                        })
+                        .map(|(i, _)| i)
+                        .expect("nonempty");
+                    let s = rest.swap_remove(pos);
+                    attach(builder, s as usize, rep_ref)?;
+                    bisect2(
+                        builder,
+                        polar,
+                        grid.segment(ring, seg),
+                        ParentRef::Node(s as usize),
+                        polar[s as usize].radius,
+                        rest,
+                    )?;
+                }
+                Ok(connector.unwrap_or(rep_ref))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{BoxRegion, Disk, Point, Region, Translated};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Disk::unit().sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn degree6_tree_is_valid_and_within_bounds() {
+        for n in [1usize, 2, 3, 10, 100, 2000] {
+            let pts = disk_points(n, n as u64);
+            let (tree, report) = PolarGridBuilder::new()
+                .build_with_report(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(tree.len(), n);
+            tree.validate(Some(6)).unwrap();
+            assert!(
+                report.delay <= report.bound + 1e-9,
+                "n={n}: delay {} > bound {}",
+                report.delay,
+                report.bound
+            );
+            assert!(report.delay >= report.lower_bound - 1e-12);
+            assert!((report.delay - tree.radius()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree2_tree_is_valid_and_within_bounds() {
+        for n in [1usize, 2, 3, 4, 10, 100, 2000] {
+            let pts = disk_points(n, 50 + n as u64);
+            let (tree, report) = PolarGridBuilder::new()
+                .max_out_degree(2)
+                .build_with_report(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(tree.len(), n);
+            tree.validate(Some(2)).unwrap();
+            assert!(
+                report.delay <= report.bound + 1e-9,
+                "n={n}: delay {} > bound {}",
+                report.delay,
+                report.bound
+            );
+        }
+    }
+
+    #[test]
+    fn delay_converges_toward_lower_bound() {
+        // Theorem 2: the radius approaches the optimum as n grows.
+        let mut last_ratio = f64::INFINITY;
+        for (n, seed) in [(100usize, 1u64), (1000, 2), (10_000, 3)] {
+            let pts = disk_points(n, seed);
+            let (_, report) = PolarGridBuilder::new()
+                .build_with_report(Point2::ORIGIN, &pts)
+                .unwrap();
+            let ratio = report.delay / report.lower_bound;
+            assert!(
+                ratio < last_ratio + 0.05,
+                "n={n}: ratio {ratio} not shrinking"
+            );
+            last_ratio = ratio;
+        }
+        assert!(last_ratio < 1.2, "ratio at n=10000 is {last_ratio}");
+    }
+
+    #[test]
+    fn rings_grow_logarithmically() {
+        // Equation (5): k >= 1/2 log2 n with high probability.
+        for (n, seed) in [(100usize, 7u64), (1000, 8), (10_000, 9)] {
+            let pts = disk_points(n, seed);
+            let (_, report) = PolarGridBuilder::new()
+                .build_with_report(Point2::ORIGIN, &pts)
+                .unwrap();
+            let floor = crate::bounds::min_rings_estimate(n as u64);
+            assert!(
+                report.rings >= floor,
+                "n={n}: rings {} below eq-5 floor {floor}",
+                report.rings
+            );
+            // And not absurdly large either (cells need points).
+            assert!((1u64 << report.rings) <= 2 * n as u64 + 2);
+        }
+    }
+
+    #[test]
+    fn rings_override() {
+        let pts = disk_points(500, 4);
+        let (_, auto) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        // A smaller k is always feasible.
+        let (tree, forced) = PolarGridBuilder::new()
+            .rings(auto.rings - 1)
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert_eq!(forced.rings, auto.rings - 1);
+        tree.validate(Some(6)).unwrap();
+        // A much larger k is infeasible.
+        let err = PolarGridBuilder::new()
+            .rings(auto.rings + 5)
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InfeasibleRings { .. }));
+    }
+
+    #[test]
+    fn rings_zero_override_is_pure_bisection() {
+        let pts = disk_points(200, 12);
+        let (tree, report) = PolarGridBuilder::new()
+            .rings(0)
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert_eq!(report.rings, 0);
+        assert_eq!(report.cells, 1);
+        tree.validate(Some(6)).unwrap();
+    }
+
+    #[test]
+    fn rep_strategies_all_yield_valid_trees() {
+        let pts = disk_points(800, 21);
+        for strategy in [
+            RepStrategy::MinRadius,
+            RepStrategy::MaxRadius,
+            RepStrategy::First,
+        ] {
+            for deg in [2, 6] {
+                let tree = PolarGridBuilder::new()
+                    .max_out_degree(deg)
+                    .representative_strategy(strategy)
+                    .build(Point2::ORIGIN, &pts)
+                    .unwrap();
+                tree.validate(Some(deg)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn min_radius_reps_beat_max_radius_reps() {
+        // The paper's rule should not be worse than the adversarial one on
+        // average; check a single decently-sized instance.
+        let pts = disk_points(5000, 33);
+        let (_, good) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        let (_, bad) = PolarGridBuilder::new()
+            .representative_strategy(RepStrategy::MaxRadius)
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert!(
+            good.delay <= bad.delay * 1.05,
+            "{} vs {}",
+            good.delay,
+            bad.delay
+        );
+    }
+
+    #[test]
+    fn degree_validation() {
+        let pts = disk_points(10, 1);
+        assert!(matches!(
+            PolarGridBuilder::new()
+                .max_out_degree(1)
+                .build(Point2::ORIGIN, &pts),
+            Err(BuildError::DegreeTooSmall { got: 1, min: 2 })
+        ));
+        for deg in [2, 3, 4, 5, 6, 7, 16] {
+            let tree = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            tree.validate(Some(deg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(matches!(
+            PolarGridBuilder::new().build(Point2::new([f64::NAN, 0.0]), &[]),
+            Err(BuildError::NonFiniteSource)
+        ));
+        assert!(matches!(
+            PolarGridBuilder::new().build(Point2::ORIGIN, &[Point2::new([1.0, f64::NAN])]),
+            Err(BuildError::NonFinitePoint { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let (tree, report) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &[])
+            .unwrap();
+        assert!(tree.is_empty());
+        assert_eq!(report.rings, 0);
+
+        // All points at the source.
+        let pts = vec![Point2::new([2.0, 2.0]); 25];
+        let (tree, report) = PolarGridBuilder::new()
+            .max_out_degree(2)
+            .build_with_report(Point2::new([2.0, 2.0]), &pts)
+            .unwrap();
+        assert_eq!(tree.len(), 25);
+        assert_eq!(tree.radius(), 0.0);
+        assert_eq!(report.delay, 0.0);
+        tree.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn duplicated_points_terminate_and_validate() {
+        let mut pts = disk_points(50, 5);
+        let dup = pts[7];
+        pts.extend(std::iter::repeat_n(dup, 40));
+        for deg in [2, 6] {
+            let tree = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .build(Point2::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(tree.len(), 90);
+            tree.validate(Some(deg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn offset_source_in_disk() {
+        // Arbitrary source placement inside the region (Section IV-C).
+        let pts = disk_points(3000, 17);
+        let source = Point2::new([0.4, -0.3]);
+        for deg in [2, 6] {
+            let (tree, report) = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .build_with_report(source, &pts)
+                .unwrap();
+            tree.validate(Some(deg)).unwrap();
+            assert!(report.delay <= report.bound + 1e-9);
+            // Still near-optimal: within 2x of the covering radius.
+            assert!(report.delay <= 2.0 * report.lower_bound);
+        }
+    }
+
+    #[test]
+    fn square_region_with_corner_source() {
+        // Convex region, source near a corner: most of the covering disk is
+        // empty, exercising the active-cell rule.
+        let mut rng = SmallRng::seed_from_u64(88);
+        let square = BoxRegion::new(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        let pts = square.sample_n(&mut rng, 4000);
+        let source = Point2::new([0.05, 0.05]);
+        for deg in [2, 6] {
+            let (tree, report) = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .build_with_report(source, &pts)
+                .unwrap();
+            tree.validate(Some(deg)).unwrap();
+            assert!(report.delay <= report.bound + 1e-9);
+            assert!(
+                report.delay <= 2.0 * report.lower_bound,
+                "deg {deg}: delay {} vs lb {}",
+                report.delay,
+                report.lower_bound
+            );
+        }
+    }
+
+    #[test]
+    fn translated_region_far_from_origin() {
+        // The grid pole is the source, wherever it is in absolute terms.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let region = Translated::new(Disk::unit(), Point2::new([100.0, -50.0]));
+        let pts = region.sample_n(&mut rng, 1000);
+        let (tree, report) = PolarGridBuilder::new()
+            .build_with_report(Point2::new([100.0, -50.0]), &pts)
+            .unwrap();
+        tree.validate(Some(6)).unwrap();
+        assert!(report.delay <= report.bound + 1e-9);
+        assert!(report.lower_bound <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn report_cell_accounting() {
+        let pts = disk_points(1000, 2);
+        let (_, report) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert_eq!(report.cells, (1usize << (report.rings + 1)) - 1);
+        assert!(report.occupied_cells <= report.cells);
+        // Interior cells are all occupied, so at least 2^k - 1 cells are.
+        assert!(report.occupied_cells >= (1usize << report.rings) - 1);
+        assert!(report.core_delay <= report.delay + 1e-12);
+    }
+
+    #[test]
+    fn clustered_input_far_from_source() {
+        // A tight cluster at distance 1: optimal radius ~1; the algorithm
+        // must cope with almost every cell being inactive.
+        let mut rng = SmallRng::seed_from_u64(14);
+        let cluster = Translated::new(Disk::new(Point2::ORIGIN, 0.01), Point2::new([1.0, 0.0]));
+        let pts = cluster.sample_n(&mut rng, 500);
+        for deg in [2, 6] {
+            let (tree, report) = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .build_with_report(Point2::ORIGIN, &pts)
+                .unwrap();
+            tree.validate(Some(deg)).unwrap();
+            assert!(
+                report.delay < 1.25,
+                "deg {deg}: cluster delay {}",
+                report.delay
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let pts = disk_points(500, 77);
+        let t1 = PolarGridBuilder::new().build(Point2::ORIGIN, &pts).unwrap();
+        let t2 = PolarGridBuilder::new().build(Point2::ORIGIN, &pts).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn builder_is_reusable_and_default() {
+        let b = PolarGridBuilder::default();
+        let pts = disk_points(50, 6);
+        let _ = b.build(Point2::ORIGIN, &pts).unwrap();
+        let _ = b.build(Point2::ORIGIN, &pts).unwrap();
+    }
+}

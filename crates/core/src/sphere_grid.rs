@@ -1,0 +1,583 @@
+//! The three-dimensional `Polar_Grid` (Section IV-B, evaluated in
+//! Figure 8): spherical shells of equal volume, a binary core tree over
+//! cell representatives, and 8-way bisection inside cells — out-degree 10
+//! (2 core + 8 bisection links), or the degree-2 wiring.
+
+use omt_geom::{Point3, SphericalPoint};
+use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
+
+use crate::bisect3d::{attach3, bisect2_3d, bisect8, fanout_chain3};
+use crate::error::BuildError;
+use crate::grid3::SphereGrid3;
+use crate::kselect::{
+    bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
+};
+use crate::polar_grid::{PolarGridReport, RepStrategy};
+
+/// Builder for the 3-D `Polar_Grid` algorithm over points in a ball.
+///
+/// Budgets of 10 and above use the degree-10 construction of the paper
+/// (2 core links + 8 octant-bisection links per representative); budgets
+/// 2–9 use the degree-2 wiring of Section IV-A with a binary in-cell
+/// bisection.
+///
+/// # Examples
+///
+/// ```
+/// use omt_core::SphereGridBuilder;
+/// use omt_geom::{Ball, Point3, Region};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let hosts = Ball::<3>::unit().sample_n(&mut rng, 3000);
+/// let (tree, report) = SphereGridBuilder::new()
+///     .build_with_report(Point3::ORIGIN, &hosts)?;
+/// tree.validate(Some(10))?;
+/// assert!(report.delay >= report.lower_bound);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SphereGridBuilder {
+    max_out_degree: u32,
+    rings_override: Option<u32>,
+    rep_strategy: RepStrategy,
+}
+
+impl Default for SphereGridBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SphereGridBuilder {
+    /// Creates a builder with the paper's 3-D defaults: out-degree 10,
+    /// automatic ring selection, inner-boundary-midpoint representatives.
+    pub fn new() -> Self {
+        Self {
+            max_out_degree: 10,
+            rings_override: None,
+            rep_strategy: RepStrategy::InnerArcMid,
+        }
+    }
+
+    /// Sets the out-degree budget (≥ 10 → degree-10 construction,
+    /// 2–9 → degree-2 wiring; < 2 fails at build time).
+    #[must_use]
+    pub fn max_out_degree(mut self, budget: u32) -> Self {
+        self.max_out_degree = budget;
+        self
+    }
+
+    /// Forces a specific number of rings. Fails at build time if the
+    /// override is infeasible.
+    #[must_use]
+    pub fn rings(mut self, k: u32) -> Self {
+        self.rings_override = Some(k);
+        self
+    }
+
+    /// Overrides the representative selection rule (for ablations).
+    #[must_use]
+    pub fn representative_strategy(mut self, strategy: RepStrategy) -> Self {
+        self.rep_strategy = strategy;
+        self
+    }
+
+    /// Builds the multicast tree.
+    ///
+    /// # Errors
+    ///
+    /// See [`SphereGridBuilder::build_with_report`].
+    pub fn build(&self, source: Point3, points: &[Point3]) -> Result<MulticastTree<3>, BuildError> {
+        self.build_with_report(source, points).map(|(t, _)| t)
+    }
+
+    /// Builds the multicast tree and returns the diagnostics.
+    ///
+    /// The report's `bound` field is the 3-D analogue of equation (7):
+    /// `ρ + c·D_0 + Σ_{i=1}^{k-1} D_i`, where `D_i` is the largest angular
+    /// diameter of a ring-`i` cell and `c` is 2 (degree ≥ 10) or 4
+    /// (degree-2 wiring).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`PolarGridBuilder::build_with_report`](crate::PolarGridBuilder::build_with_report).
+    pub fn build_with_report(
+        &self,
+        source: Point3,
+        points: &[Point3],
+    ) -> Result<(MulticastTree<3>, PolarGridReport), BuildError> {
+        if self.max_out_degree < 2 {
+            return Err(BuildError::DegreeTooSmall {
+                got: self.max_out_degree,
+                min: 2,
+            });
+        }
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let n = points.len();
+        let mut builder =
+            TreeBuilder::new(source, points.to_vec()).max_out_degree(self.max_out_degree);
+        if n == 0 {
+            let tree = builder.finish()?;
+            return Ok((tree, trivial_report(0)));
+        }
+        let sph: Vec<SphericalPoint> = points
+            .iter()
+            .map(|p| SphericalPoint::from_cartesian(&(*p - source)))
+            .collect();
+        let lower_bound = sph.iter().map(|p| p.radius).fold(0.0, f64::max);
+        if lower_bound == 0.0 {
+            fanout_chain3(&mut builder, self.max_out_degree)?;
+            let tree = builder.finish()?;
+            let mut report = trivial_report(1);
+            report.occupied_cells = 1;
+            return Ok((tree, report));
+        }
+        let rho = lower_bound * (1.0 + 1e-9);
+
+        let k_max = finest_level(n);
+        let finest = SphereGrid3::new(k_max, rho);
+        let assignments = Assignments {
+            k_max,
+            ring: sph
+                .iter()
+                .map(|p| finest.ring_of_radius(p.radius))
+                .collect(),
+            path: sph.iter().map(|p| finest.angular_path(p)).collect(),
+        };
+        let (k_auto, _) = select_rings(&assignments);
+        let k = match self.rings_override {
+            None => k_auto,
+            Some(req) if req <= k_auto => req,
+            Some(req) => {
+                return Err(BuildError::InfeasibleRings {
+                    requested: req,
+                    feasible: k_auto,
+                })
+            }
+        };
+        let grid = SphereGrid3::new(k, rho);
+        let deg10 = self.max_out_degree >= 10;
+
+        // Bucket points per cell.
+        let cells = cell_count(k);
+        let (counts, members) = bucket_cells(&assignments, k);
+        let cell_members = |c: usize| &members[counts[c] as usize..counts[c + 1] as usize];
+        let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
+
+        let mut core_delay = 0.0f64;
+        if deg10 {
+            let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            bisect8(
+                &mut builder,
+                &sph,
+                grid.cell(0, 0),
+                ParentRef::Source,
+                0.0,
+                cell_members(0).to_vec(),
+            )?;
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let mem = cell_members(c);
+                    if mem.is_empty() {
+                        continue;
+                    }
+                    let rep = pick_rep(
+                        self.rep_strategy,
+                        &sph,
+                        mem,
+                        inner_arc_mid(&grid, ring, seg),
+                    );
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach3(&mut builder, rep as usize, rep_ref[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(builder.depth_of(rep as usize).expect("just attached"));
+                    rep_ref[c] = ParentRef::Node(rep as usize);
+                    let rest: Vec<u32> = mem.iter().copied().filter(|&p| p != rep).collect();
+                    bisect8(
+                        &mut builder,
+                        &sph,
+                        grid.cell(ring, seg),
+                        ParentRef::Node(rep as usize),
+                        sph[rep as usize].radius,
+                        rest,
+                    )?;
+                }
+            }
+        } else {
+            let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            {
+                let mem = cell_members(0);
+                let has_core_children = k >= 1
+                    && (!cell_members(cell_index(1, 0)).is_empty()
+                        || !cell_members(cell_index(1, 1)).is_empty());
+                connector[0] = wire_cell_deg2_3d(
+                    self.rep_strategy,
+                    &mut builder,
+                    &sph,
+                    &grid,
+                    0,
+                    0,
+                    ParentRef::Source,
+                    0.0,
+                    mem,
+                    None,
+                    has_core_children,
+                )?;
+            }
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let mem = cell_members(c);
+                    if mem.is_empty() {
+                        continue;
+                    }
+                    let rep = pick_rep(
+                        self.rep_strategy,
+                        &sph,
+                        mem,
+                        inner_arc_mid(&grid, ring, seg),
+                    );
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach3(&mut builder, rep as usize, connector[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(builder.depth_of(rep as usize).expect("just attached"));
+                    let has_core_children = match grid.children(ring, seg) {
+                        None => false,
+                        Some(kids) => kids
+                            .iter()
+                            .any(|&(r, s)| !cell_members(cell_index(r, s)).is_empty()),
+                    };
+                    connector[c] = wire_cell_deg2_3d(
+                        self.rep_strategy,
+                        &mut builder,
+                        &sph,
+                        &grid,
+                        ring,
+                        seg,
+                        ParentRef::Node(rep as usize),
+                        sph[rep as usize].radius,
+                        mem,
+                        Some(rep),
+                        has_core_children,
+                    )?;
+                }
+            }
+        }
+
+        let tree = builder.finish()?;
+        let delay = tree.radius();
+        let c = if deg10 { 2.0 } else { 4.0 };
+        let mut bound = rho + c * grid.max_angular_diameter(0);
+        for i in 1..k {
+            bound += grid.max_angular_diameter(i);
+        }
+        let report = PolarGridReport {
+            rings: k,
+            delay,
+            core_delay,
+            bound,
+            lower_bound,
+            cells,
+            occupied_cells,
+        };
+        Ok((tree, report))
+    }
+}
+
+fn trivial_report(occupied: usize) -> PolarGridReport {
+    PolarGridReport {
+        rings: 0,
+        delay: 0.0,
+        core_delay: 0.0,
+        bound: 0.0,
+        lower_bound: 0.0,
+        cells: 1,
+        occupied_cells: occupied,
+    }
+}
+
+/// Midpoint of a cell's inner boundary (minimum radius, central angles),
+/// in the source-relative frame.
+fn inner_arc_mid(grid: &SphereGrid3, ring: u32, seg: u64) -> Point3 {
+    let cell = grid.cell(ring, seg);
+    let (z_lo, z_hi) = cell.z_range();
+    SphericalPoint::new(cell.r_lo(), cell.arc().mid(), 0.5 * (z_lo + z_hi)).to_cartesian()
+}
+
+fn pick_rep(
+    strategy: RepStrategy,
+    sph: &[SphericalPoint],
+    members: &[u32],
+    inner_mid: Point3,
+) -> u32 {
+    debug_assert!(!members.is_empty());
+    match strategy {
+        RepStrategy::InnerArcMid => *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = sph[a as usize].to_cartesian().distance_squared(&inner_mid);
+                let db = sph[b as usize].to_cartesian().distance_squared(&inner_mid);
+                da.total_cmp(&db)
+            })
+            .expect("nonempty"),
+        RepStrategy::MinRadius => *members
+            .iter()
+            .min_by(|&&a, &&b| sph[a as usize].radius.total_cmp(&sph[b as usize].radius))
+            .expect("nonempty"),
+        RepStrategy::MaxRadius => *members
+            .iter()
+            .max_by(|&&a, &&b| sph[a as usize].radius.total_cmp(&sph[b as usize].radius))
+            .expect("nonempty"),
+        RepStrategy::First => members[0],
+    }
+}
+
+/// Degree-2 in-cell wiring (3-D twin of the 2-D version): returns the
+/// cell's connector.
+#[allow(clippy::too_many_arguments)]
+fn wire_cell_deg2_3d(
+    strategy: RepStrategy,
+    builder: &mut TreeBuilder<3>,
+    sph: &[SphericalPoint],
+    grid: &SphereGrid3,
+    ring: u32,
+    seg: u64,
+    rep_ref: ParentRef,
+    rep_radius: f64,
+    members: &[u32],
+    rep: Option<u32>,
+    has_core_children: bool,
+) -> Result<ParentRef, BuildError> {
+    let _ = strategy;
+    let mut rest: Vec<u32> = members
+        .iter()
+        .copied()
+        .filter(|&p| Some(p) != rep)
+        .collect();
+    match rest.len() {
+        0 => Ok(rep_ref),
+        1 => {
+            let other = rest[0];
+            attach3(builder, other as usize, rep_ref)?;
+            Ok(ParentRef::Node(other as usize))
+        }
+        _ => {
+            let connector = if has_core_children {
+                // Nearest point to the representative (see the 2-D wiring
+                // for the rationale: the extra hop stays local).
+                let rep_pos = match rep_ref {
+                    ParentRef::Source => omt_geom::Point3::ORIGIN,
+                    ParentRef::Node(r) => sph[r].to_cartesian(),
+                };
+                let pos = rest
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        let da = sph[*a.1 as usize].to_cartesian().distance_squared(&rep_pos);
+                        let db = sph[*b.1 as usize].to_cartesian().distance_squared(&rep_pos);
+                        da.total_cmp(&db)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                let x = rest.swap_remove(pos);
+                attach3(builder, x as usize, rep_ref)?;
+                Some(ParentRef::Node(x as usize))
+            } else {
+                None
+            };
+            if !rest.is_empty() {
+                let pos = rest
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (sph[*a.1 as usize].radius - rep_radius)
+                            .abs()
+                            .total_cmp(&(sph[*b.1 as usize].radius - rep_radius).abs())
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                let s = rest.swap_remove(pos);
+                attach3(builder, s as usize, rep_ref)?;
+                bisect2_3d(
+                    builder,
+                    sph,
+                    grid.cell(ring, seg),
+                    ParentRef::Node(s as usize),
+                    sph[s as usize].radius,
+                    rest,
+                )?;
+            }
+            Ok(connector.unwrap_or(rep_ref))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::{Ball, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ball_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Ball::<3>::unit().sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn degree10_tree_is_valid_and_within_bounds() {
+        for n in [1usize, 2, 10, 100, 3000] {
+            let pts = ball_points(n, n as u64);
+            let (tree, report) = SphereGridBuilder::new()
+                .build_with_report(Point3::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(tree.len(), n);
+            tree.validate(Some(10)).unwrap();
+            assert!(
+                report.delay <= report.bound + 1e-9,
+                "n={n}: delay {} > bound {}",
+                report.delay,
+                report.bound
+            );
+            assert!(report.delay >= report.lower_bound - 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree2_tree_is_valid() {
+        for n in [1usize, 3, 50, 1500] {
+            let pts = ball_points(n, 31 + n as u64);
+            let (tree, report) = SphereGridBuilder::new()
+                .max_out_degree(2)
+                .build_with_report(Point3::ORIGIN, &pts)
+                .unwrap();
+            assert_eq!(tree.len(), n);
+            tree.validate(Some(2)).unwrap();
+            assert!(report.delay <= report.bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn delay_converges_toward_lower_bound() {
+        let mut ratios = Vec::new();
+        for (n, seed) in [(200usize, 1u64), (2000, 2), (20_000, 3)] {
+            let pts = ball_points(n, seed);
+            let (_, report) = SphereGridBuilder::new()
+                .build_with_report(Point3::ORIGIN, &pts)
+                .unwrap();
+            ratios.push(report.delay / report.lower_bound);
+        }
+        // Convergence in 3-D is markedly slower than in 2-D (the paper's
+        // Figure 8 observation); require monotone improvement and a sane
+        // absolute level at n = 20k.
+        assert!(ratios[0] > ratios[1] && ratios[1] > ratios[2], "{ratios:?}");
+        assert!(ratios[2] < 2.5, "{ratios:?}");
+    }
+
+    #[test]
+    fn three_d_converges_slower_than_two_d() {
+        // Figure 8's observation: at equal n, the 3-D delay exceeds the
+        // 2-D delay because points are sparser per unit volume.
+        use crate::polar_grid::PolarGridBuilder;
+        use omt_geom::{Disk, Point2};
+        let n = 5000;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pts2 = Disk::unit().sample_n(&mut rng, n);
+        let (_, r2) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts2)
+            .unwrap();
+        let pts3 = ball_points(n, 4);
+        let (_, r3) = SphereGridBuilder::new()
+            .build_with_report(Point3::ORIGIN, &pts3)
+            .unwrap();
+        assert!(
+            r3.delay / r3.lower_bound > r2.delay / r2.lower_bound,
+            "3-D {} vs 2-D {}",
+            r3.delay / r3.lower_bound,
+            r2.delay / r2.lower_bound
+        );
+    }
+
+    #[test]
+    fn intermediate_budgets_use_degree2_wiring() {
+        let pts = ball_points(500, 9);
+        for deg in [2u32, 5, 9] {
+            let tree = SphereGridBuilder::new()
+                .max_out_degree(deg)
+                .build(Point3::ORIGIN, &pts)
+                .unwrap();
+            assert!(tree.max_out_degree() <= 2);
+            tree.validate(Some(deg)).unwrap();
+        }
+    }
+
+    #[test]
+    fn offset_source_and_errors() {
+        let pts = ball_points(2000, 11);
+        let source = Point3::new([0.3, -0.2, 0.1]);
+        let (tree, report) = SphereGridBuilder::new()
+            .build_with_report(source, &pts)
+            .unwrap();
+        tree.validate(Some(10)).unwrap();
+        assert!(report.delay <= report.bound + 1e-9);
+
+        assert!(matches!(
+            SphereGridBuilder::new()
+                .max_out_degree(1)
+                .build(Point3::ORIGIN, &pts),
+            Err(BuildError::DegreeTooSmall { .. })
+        ));
+        assert!(matches!(
+            SphereGridBuilder::new().build(Point3::new([f64::NAN, 0.0, 0.0]), &pts),
+            Err(BuildError::NonFiniteSource)
+        ));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (tree, _) = SphereGridBuilder::new()
+            .build_with_report(Point3::ORIGIN, &[])
+            .unwrap();
+        assert!(tree.is_empty());
+        let pts = vec![Point3::new([1.0, 1.0, 1.0]); 30];
+        let (tree, report) = SphereGridBuilder::new()
+            .max_out_degree(2)
+            .build_with_report(Point3::new([1.0, 1.0, 1.0]), &pts)
+            .unwrap();
+        assert_eq!(tree.radius(), 0.0);
+        assert_eq!(report.delay, 0.0);
+        tree.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn rings_override_3d() {
+        let pts = ball_points(1000, 14);
+        let (_, auto) = SphereGridBuilder::new()
+            .build_with_report(Point3::ORIGIN, &pts)
+            .unwrap();
+        assert!(auto.rings >= 1);
+        let (tree, forced) = SphereGridBuilder::new()
+            .rings(auto.rings - 1)
+            .build_with_report(Point3::ORIGIN, &pts)
+            .unwrap();
+        assert_eq!(forced.rings, auto.rings - 1);
+        tree.validate(Some(10)).unwrap();
+        assert!(matches!(
+            SphereGridBuilder::new()
+                .rings(auto.rings + 6)
+                .build(Point3::ORIGIN, &pts),
+            Err(BuildError::InfeasibleRings { .. })
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration checks binding the analytic bounds to the builders over a
+//! wide grid of configurations — the belt-and-suspenders layer for the
+//! formulas EXPERIMENTS.md reports against.
+
+use omt_core::{bounds, PolarGridBuilder, SphereGridBuilder};
+use omt_geom::{Ball, Disk, Point2, Point3, Region};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Equation (7) holds for every (n, degree, seed) cell, and the reported
+/// bound equals the closed form at the selected k.
+#[test]
+fn equation7_sweep() {
+    for &n in &[3usize, 17, 64, 256, 1024, 4096] {
+        for &deg in &[2u32, 3, 6, 9] {
+            for seed in 0..3u64 {
+                let mut rng = SmallRng::seed_from_u64(seed * 1000 + n as u64);
+                let pts = Disk::unit().sample_n(&mut rng, n);
+                let (tree, report) = PolarGridBuilder::new()
+                    .max_out_degree(deg)
+                    .build_with_report(Point2::ORIGIN, &pts)
+                    .unwrap();
+                assert!(
+                    tree.radius() <= report.bound + 1e-9,
+                    "n={n} deg={deg} seed={seed}: {} > {}",
+                    tree.radius(),
+                    report.bound
+                );
+                let rho = report.lower_bound * (1.0 + 1e-9);
+                let closed = bounds::upper_bound_eq7(report.rings, deg, rho);
+                assert!(
+                    (report.bound - closed).abs() < 1e-9,
+                    "reported bound diverges from the closed form"
+                );
+            }
+        }
+    }
+}
+
+/// The selected ring count never falls below the equation-(5) estimate on
+/// uniform disks (whp claim, checked over many seeds).
+#[test]
+fn equation5_sweep() {
+    let mut violations = 0;
+    let trials = 40;
+    for seed in 0..trials {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = Disk::unit().sample_n(&mut rng, 2048);
+        let (_, report) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        if report.rings < bounds::min_rings_estimate(2048) {
+            violations += 1;
+        }
+    }
+    // "With high probability": tolerate at most one unlucky draw.
+    assert!(violations <= 1, "{violations}/{trials} eq-(5) violations");
+}
+
+/// The 3-D analogue bound holds across degrees and sizes.
+#[test]
+fn sphere_bound_sweep() {
+    for &n in &[5usize, 50, 500, 5000] {
+        for &deg in &[2u32, 10] {
+            let mut rng = SmallRng::seed_from_u64(n as u64 + u64::from(deg));
+            let pts = Ball::<3>::unit().sample_n(&mut rng, n);
+            let (tree, report) = SphereGridBuilder::new()
+                .max_out_degree(deg)
+                .build_with_report(Point3::ORIGIN, &pts)
+                .unwrap();
+            assert!(
+                tree.radius() <= report.bound + 1e-9,
+                "n={n} deg={deg}: {} > {}",
+                tree.radius(),
+                report.bound
+            );
+        }
+    }
+}
+
+/// Grid cell counts and bound monotonicity: more rings, tighter bound.
+#[test]
+fn bound_monotone_in_rings() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let pts = Disk::unit().sample_n(&mut rng, 4096);
+    let (_, auto) = PolarGridBuilder::new()
+        .build_with_report(Point2::ORIGIN, &pts)
+        .unwrap();
+    let mut last = f64::INFINITY;
+    for k in 1..=auto.rings {
+        let (_, r) = PolarGridBuilder::new()
+            .rings(k)
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert_eq!(r.rings, k);
+        assert!(r.bound < last, "bound not monotone at k={k}");
+        assert_eq!(r.cells as u64, bounds::grid_cell_count(k));
+        last = r.bound;
+    }
+}

@@ -1,0 +1,199 @@
+//! Ablations over the design choices DESIGN.md calls out: representative
+//! selection, ring-count offsets, and the bisection-degree trade-off.
+
+use omt_core::{Bisection, PolarGridBuilder, RepStrategy};
+use omt_geom::Point2;
+
+use crate::stats::Accumulator;
+use crate::workload::disk_trial;
+
+/// One ablation variant's aggregated result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Average longest delay.
+    pub delay: f64,
+    /// Standard deviation of the longest delay.
+    pub dev: f64,
+}
+
+/// Runs the representative-strategy ablation: the paper's min-radius rule
+/// against max-radius and arbitrary picks, at both degree settings.
+pub fn rep_strategy_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for (deg, deg_name) in [(6u32, "deg6"), (2, "deg2")] {
+        for (strategy, name) in [
+            (RepStrategy::InnerArcMid, "inner-arc-mid (paper, default)"),
+            (RepStrategy::MinRadius, "min-radius"),
+            (RepStrategy::MaxRadius, "max-radius"),
+            (RepStrategy::First, "first-point"),
+        ] {
+            let builder = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .representative_strategy(strategy);
+            let mut acc = Accumulator::new();
+            for trial in 0..trials {
+                let pts = disk_trial(seed, n, trial);
+                let (_, report) = builder
+                    .build_with_report(Point2::ORIGIN, &pts)
+                    .expect("valid workload");
+                acc.push(report.delay);
+            }
+            rows.push(AblationRow {
+                variant: format!("{deg_name}/{name}"),
+                delay: acc.mean(),
+                dev: acc.stddev(),
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the ring-count ablation: the automatic maximal `k` against `k-1`
+/// and `k-2` (coarser grids shift work into the bisection).
+pub fn ring_offset_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for offset in 0u32..3 {
+        let mut acc = Accumulator::new();
+        for trial in 0..trials {
+            let pts = disk_trial(seed, n, trial);
+            let auto = PolarGridBuilder::new()
+                .build_with_report(Point2::ORIGIN, &pts)
+                .expect("valid workload")
+                .1
+                .rings;
+            let k = auto.saturating_sub(offset);
+            let (_, report) = PolarGridBuilder::new()
+                .rings(k)
+                .build_with_report(Point2::ORIGIN, &pts)
+                .expect("smaller k is always feasible");
+            acc.push(report.delay);
+        }
+        rows.push(AblationRow {
+            variant: format!("rings = auto - {offset}"),
+            delay: acc.mean(),
+            dev: acc.stddev(),
+        });
+    }
+    rows
+}
+
+/// A named tree-radius evaluator over one workload.
+type Variant = (String, Box<dyn Fn(&[Point2]) -> f64>);
+
+/// Runs the standalone-bisection ablation: pure bisection (no grid) at
+/// degrees 4 and 2, against the full polar-grid algorithm.
+pub fn bisection_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let variants: Vec<Variant> = vec![
+        (
+            "polar-grid deg6".into(),
+            Box::new(|pts: &[Point2]| {
+                PolarGridBuilder::new()
+                    .build(Point2::ORIGIN, pts)
+                    .expect("valid")
+                    .radius()
+            }),
+        ),
+        (
+            "bisection-only deg4".into(),
+            Box::new(|pts: &[Point2]| {
+                Bisection::new(4)
+                    .expect("degree ok")
+                    .build(Point2::ORIGIN, pts)
+                    .expect("valid")
+                    .radius()
+            }),
+        ),
+        (
+            "bisection-only deg2".into(),
+            Box::new(|pts: &[Point2]| {
+                Bisection::new(2)
+                    .expect("degree ok")
+                    .build(Point2::ORIGIN, pts)
+                    .expect("valid")
+                    .radius()
+            }),
+        ),
+    ];
+    for (name, f) in variants {
+        let mut acc = Accumulator::new();
+        for trial in 0..trials {
+            let pts = disk_trial(seed, n, trial);
+            acc.push(f(&pts));
+        }
+        rows.push(AblationRow {
+            variant: name,
+            delay: acc.mean(),
+            dev: acc.stddev(),
+        });
+    }
+    rows
+}
+
+/// Formats ablation rows as a markdown table.
+pub fn ablation_markdown(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = format!("### {title}\n\n| Variant | Delay | Dev |\n|---|---:|---:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.3} |\n",
+            r.variant, r.delay, r.dev
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rule_wins_rep_ablation() {
+        let rows = rep_strategy_ablation(1, 2000, 8);
+        assert_eq!(rows.len(), 8);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.variant == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .delay
+        };
+        // The paper's rule should beat the adversarial rule clearly at both
+        // degrees (tiny slack for noise).
+        assert!(get("deg6/inner-arc-mid (paper, default)") <= get("deg6/max-radius") * 1.02);
+        assert!(get("deg2/inner-arc-mid (paper, default)") <= get("deg2/max-radius") * 1.02);
+        // And the literal reading beats plain min-radius on average.
+        assert!(get("deg6/inner-arc-mid (paper, default)") <= get("deg6/min-radius") * 1.02);
+    }
+
+    #[test]
+    fn maximal_rings_not_worse_than_much_coarser() {
+        let rows = ring_offset_ablation(2, 2000, 6);
+        assert_eq!(rows.len(), 3);
+        // auto vs auto-2: the bound shrinks with k, and so should (or at
+        // least not clearly worsen) the delay.
+        assert!(rows[0].delay <= rows[2].delay * 1.1, "{rows:?}");
+    }
+
+    #[test]
+    fn grid_beats_pure_bisection() {
+        let rows = bisection_ablation(3, 2000, 6);
+        let grid = rows[0].delay;
+        let b4 = rows[1].delay;
+        let b2 = rows[2].delay;
+        assert!(grid < b4, "grid {grid} vs bisection4 {b4}");
+        assert!(b4 < b2 * 1.05, "bisection4 {b4} vs bisection2 {b2}");
+    }
+
+    #[test]
+    fn markdown_contains_rows() {
+        let rows = vec![AblationRow {
+            variant: "x".into(),
+            delay: 1.0,
+            dev: 0.1,
+        }];
+        let md = ablation_markdown("T", &rows);
+        assert!(md.contains("### T"));
+        assert!(md.contains("| x | 1.000 | 0.100 |"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation experiments over the algorithm's design choices:
+//! representative selection, ring-count offsets, and grid-vs-pure-bisection.
+//! Uses one size (default 10,000; override with `--sizes N`).
+
+use omt_experiments::ablation::{
+    ablation_markdown, bisection_ablation, rep_strategy_ablation, ring_offset_ablation,
+};
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::write_result;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let n = args.sizes.as_ref().map_or(10_000, |s| s[0]);
+    let trials = args.trials.unwrap_or(30);
+    eprintln!(
+        "ablations at n = {n}, {trials} trials, seed {}",
+        args.seed()
+    );
+    let mut all = String::new();
+    let reps = rep_strategy_ablation(args.seed(), n, trials);
+    all.push_str(&ablation_markdown("Representative selection", &reps));
+    all.push('\n');
+    let rings = ring_offset_ablation(args.seed(), n, trials);
+    all.push_str(&ablation_markdown("Ring count (k) offset", &rings));
+    all.push('\n');
+    let bis = bisection_ablation(args.seed(), n, trials);
+    all.push_str(&ablation_markdown("Grid vs. pure bisection", &bis));
+    println!("{all}");
+    if let Some(dir) = &args.out {
+        let p = write_result(dir, "ablation.md", &all).expect("write report");
+        eprintln!("wrote {}", p.display());
+    }
+}

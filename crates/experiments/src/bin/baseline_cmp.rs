@@ -1,0 +1,33 @@
+//! Compares the paper's algorithms against the cited prior-art baselines
+//! (compact tree, greedy Prim, bandwidth-latency, random) on delay and
+//! construction time. Quadratic baselines are skipped above 20,000 nodes.
+
+use omt_experiments::baseline_cmp::{baseline_markdown, run_baseline_cell, Algorithm};
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::write_result;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let sizes = args
+        .sizes
+        .clone()
+        .unwrap_or_else(|| vec![100, 1_000, 10_000, 100_000]);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let trials = args.trials.unwrap_or(10);
+        for alg in Algorithm::ALL {
+            if alg.is_quadratic() && n > 20_000 {
+                eprintln!("skipping {} at n = {n} (quadratic)", alg.name());
+                continue;
+            }
+            eprintln!("running {} at n = {n} ({trials} trials)...", alg.name());
+            rows.push(run_baseline_cell(alg, args.seed(), n, trials, 6));
+        }
+    }
+    let md = baseline_markdown(&rows);
+    println!("{md}");
+    if let Some(dir) = &args.out {
+        let p = write_result(dir, "baseline_cmp.md", &md).expect("write report");
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,46 @@
+//! Dynamic membership under churn: the decentralized-maintenance extension.
+//! Reports the worst delay of the churned overlay against a fresh static
+//! rebuild over the same membership, as churn progresses.
+
+use omt_core::{DynamicOverlay, PolarGridBuilder};
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::workload::trial_rng;
+use omt_geom::{Point2, Region};
+use rand::RngExt;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let target = args.sizes.as_ref().map_or(2_000, |s| s[0]);
+    let steps = args.trials.unwrap_or(10) * target;
+    eprintln!("churn experiment: target size {target}, {steps} membership events");
+    let mut rng = trial_rng(args.seed(), target, 0);
+    let disk = omt_geom::Disk::unit();
+    let mut overlay = DynamicOverlay::new(Point2::ORIGIN, 6).expect("degree 6 ok");
+    let mut live = Vec::new();
+    let mut rows = Vec::new();
+    for step in 0..steps {
+        if live.len() < target / 2 || (live.len() < target * 2 && rng.random::<f64>() < 0.55) {
+            live.push(overlay.join(disk.sample(&mut rng)));
+        } else {
+            let i = rng.random_range(0..live.len());
+            overlay.leave(live.swap_remove(i)).expect("live id");
+        }
+        if step % (steps / 10).max(1) == 0 && overlay.len() > 10 {
+            let churned = overlay.radius();
+            let snapshot = overlay.snapshot().expect("consistent overlay");
+            let fresh = PolarGridBuilder::new()
+                .build(Point2::ORIGIN, snapshot.points())
+                .expect("valid points")
+                .radius();
+            rows.push((step as f64, vec![churned, fresh, churned / fresh]));
+        }
+    }
+    let names = ["churned radius", "fresh rebuild radius", "ratio"];
+    println!("{}", series_markdown("events", &names, &rows));
+    if let Some(dir) = &args.out {
+        let p = write_result(dir, "churn.csv", &series_csv("events", &names, &rows))
+            .expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

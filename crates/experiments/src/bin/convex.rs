@@ -1,0 +1,20 @@
+//! General convex regions with arbitrary source placement (Section IV-C),
+//! plus a non-convex annulus control.
+
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::convex::{convex_markdown, run_convex};
+use omt_experiments::report::write_result;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let n = args.sizes.as_ref().map_or(10_000, |s| s[0]);
+    let trials = args.trials.unwrap_or(20);
+    eprintln!("convex-region sweep at n = {n}, {trials} trials");
+    let rows = run_convex(args.seed(), n, trials);
+    let md = convex_markdown(&rows);
+    println!("{md}");
+    if let Some(dir) = &args.out {
+        let p = write_result(dir, "convex.md", &md).expect("write report");
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,28 @@
+//! The embedding-distortion experiment (the paper's stated future work):
+//! Waxman underlay → measured delays → GNP/Vivaldi embedding → polar-grid
+//! tree → evaluation on true delays.
+
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::embedding::{embedding_markdown, run_embedding, EmbeddingConfig};
+use omt_experiments::report::write_result;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let hosts = args.sizes.as_ref().map_or(120, |s| s[0]);
+    let config = EmbeddingConfig {
+        routers: (hosts * 3).max(100),
+        hosts,
+        degree: 6,
+    };
+    eprintln!(
+        "embedding experiment: {} routers, {} hosts, degree {}",
+        config.routers, config.hosts, config.degree
+    );
+    let rows = run_embedding(args.seed(), &config);
+    let md = embedding_markdown(&rows);
+    println!("{md}");
+    if let Some(dir) = &args.out {
+        let p = write_result(dir, "embedding.md", &md).expect("write report");
+        eprintln!("wrote {}", p.display());
+    }
+}

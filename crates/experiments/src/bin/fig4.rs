@@ -1,0 +1,25 @@
+//! Regenerates **Figure 4**: average maximum delay compared to the
+//! analytic bound (equation 7) and the core delay, degree 6, log-x in `n`.
+
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::runner::run_table1_row;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let mut rows = Vec::new();
+    for n in args.sizes() {
+        let trials = args.trials_for(n);
+        eprintln!("running n = {n} ({trials} trials)...");
+        let r = run_table1_row(args.seed(), n, trials);
+        rows.push((n as f64, vec![r.deg6.delay, r.deg6.bound, r.deg6.core]));
+    }
+    let names = ["delay (deg 6)", "bound eq.(7)", "core delay"];
+    println!("{}", series_markdown("nodes", &names, &rows));
+    println!("(plot with log-scaled x axis; the paper's Figure 4)");
+    if let Some(dir) = &args.out {
+        let p =
+            write_result(dir, "fig4.csv", &series_csv("nodes", &names, &rows)).expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

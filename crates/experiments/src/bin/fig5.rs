@@ -1,0 +1,31 @@
+//! Regenerates **Figure 5**: comparison of the average maximum delay for
+//! out-degree 2 and out-degree 6 trees (both converge to 1; the degree-2
+//! overhead is roughly twice the degree-6 overhead).
+
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::runner::run_table1_row;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let mut rows = Vec::new();
+    let mut overhead_ratios = Vec::new();
+    for n in args.sizes() {
+        let trials = args.trials_for(n);
+        eprintln!("running n = {n} ({trials} trials)...");
+        let r = run_table1_row(args.seed(), n, trials);
+        rows.push((n as f64, vec![r.deg6.delay, r.deg2.delay]));
+        if r.deg6.delay > r.lower_bound {
+            overhead_ratios.push((r.deg2.delay - r.lower_bound) / (r.deg6.delay - r.lower_bound));
+        }
+    }
+    let names = ["delay (deg 6)", "delay (deg 2)"];
+    println!("{}", series_markdown("nodes", &names, &rows));
+    let avg: f64 = overhead_ratios.iter().sum::<f64>() / overhead_ratios.len().max(1) as f64;
+    println!("average overhead ratio deg2/deg6: {avg:.2} (the paper reports ~2)");
+    if let Some(dir) = &args.out {
+        let p =
+            write_result(dir, "fig5.csv", &series_csv("nodes", &names, &rows)).expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 6**: the average number of grid rings `k` against
+//! `n` (near-linear on a log-x axis, as equation (5) predicts).
+
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::runner::run_table1_row;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let mut rows = Vec::new();
+    for n in args.sizes() {
+        let trials = args.trials_for(n);
+        eprintln!("running n = {n} ({trials} trials)...");
+        let r = run_table1_row(args.seed(), n, trials);
+        let eq5_floor = 0.5 * (n as f64).log2();
+        rows.push((n as f64, vec![r.rings, eq5_floor]));
+    }
+    let names = ["rings (measured)", "eq.(5) floor ½·log2 n"];
+    println!("{}", series_markdown("nodes", &names, &rows));
+    if let Some(dir) = &args.out {
+        let p =
+            write_result(dir, "fig6.csv", &series_csv("nodes", &names, &rows)).expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

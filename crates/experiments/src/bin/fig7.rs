@@ -1,0 +1,30 @@
+//! Regenerates **Figure 7**: algorithm running time against `n` (grows
+//! near-linearly). The inset of the paper (100..10,000 nodes) is the
+//! `--quick` sweep.
+
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::runner::run_table1_row;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let mut rows = Vec::new();
+    for n in args.sizes() {
+        let trials = args.trials_for(n);
+        eprintln!("running n = {n} ({trials} trials)...");
+        let r = run_table1_row(args.seed(), n, trials);
+        rows.push((n as f64, vec![r.deg6.cpu_sec, r.deg2.cpu_sec]));
+    }
+    let names = ["cpu sec (deg 6)", "cpu sec (deg 2)"];
+    println!("{}", series_markdown("nodes", &names, &rows));
+    // Linearity check: seconds per million nodes across the sweep.
+    println!("seconds per 1M nodes (should stay roughly flat):");
+    for (n, ys) in &rows {
+        println!("  n={:>9}: {:.3}", n, ys[0] / n * 1e6);
+    }
+    if let Some(dir) = &args.out {
+        let p =
+            write_result(dir, "fig7.csv", &series_csv("nodes", &names, &rows)).expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

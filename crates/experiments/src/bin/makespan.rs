@@ -1,0 +1,61 @@
+//! The bandwidth story behind the degree constraint: dissemination
+//! makespan under per-copy serialization cost, comparing the unconstrained
+//! star (what you would do without fan-out limits) against the paper's
+//! degree-6 and degree-2 trees.
+//!
+//! With zero serialization the star is optimal (one direct hop each). As
+//! the per-copy cost grows, the star's source serializes n copies and
+//! loses badly to bounded-fanout trees — the crossover is the whole reason
+//! degree-constrained trees exist.
+
+use omt_baselines::star_tree;
+use omt_core::PolarGridBuilder;
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::workload::disk_trial;
+use omt_geom::Point2;
+use omt_sim::{simulate, SimConfig};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let n = args.sizes.as_ref().map_or(2_000, |s| s[0]);
+    eprintln!("makespan sweep at n = {n}");
+    let pts = disk_trial(args.seed(), n, 0);
+    let star = star_tree(Point2::ORIGIN, &pts).expect("valid workload");
+    let deg6 = PolarGridBuilder::new()
+        .build(Point2::ORIGIN, &pts)
+        .expect("valid");
+    let deg2 = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .build(Point2::ORIGIN, &pts)
+        .expect("valid");
+    let mut rows = Vec::new();
+    for exp in -6..=-1 {
+        let s = 10f64.powi(exp);
+        let cfg = SimConfig {
+            serialization_delay: s,
+            ..SimConfig::default()
+        };
+        rows.push((
+            s,
+            vec![
+                simulate(&star, &cfg).makespan,
+                simulate(&deg6, &cfg).makespan,
+                simulate(&deg2, &cfg).makespan,
+            ],
+        ));
+    }
+    let names = ["star (unbounded)", "polar-grid deg6", "polar-grid deg2"];
+    println!("{}", series_markdown("serialization delay", &names, &rows));
+    println!("(the star wins only while serialization is negligible; the crossover");
+    println!(" is why overlay multicast needs degree-constrained trees at all)");
+    if let Some(dir) = &args.out {
+        let p = write_result(
+            dir,
+            "makespan.csv",
+            &series_csv("serialization_delay", &names, &rows),
+        )
+        .expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

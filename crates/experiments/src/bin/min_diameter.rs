@@ -1,0 +1,45 @@
+//! The minimum-diameter variant (paper's conclusion): tree diameter
+//! against the point-set-diameter lower bound across sizes, with the
+//! center-rooted polar grid.
+
+use omt_core::MinDiameterBuilder;
+use omt_experiments::cli::ExpArgs;
+use omt_experiments::report::{series_csv, series_markdown, write_result};
+use omt_experiments::stats::Accumulator;
+use omt_experiments::workload::disk_trial;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let sizes = args
+        .sizes
+        .clone()
+        .unwrap_or_else(|| vec![100, 1_000, 10_000, 100_000]);
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let trials = args.trials.unwrap_or(20);
+        eprintln!("running n = {n} ({trials} trials)...");
+        let mut ratio6 = Accumulator::new();
+        let mut ratio2 = Accumulator::new();
+        for trial in 0..trials {
+            let pts = disk_trial(args.seed(), n, trial);
+            let (_, r6) = MinDiameterBuilder::new().build_2d(&pts).expect("valid");
+            ratio6.push(r6.diameter / r6.lower_bound);
+            let (_, r2) = MinDiameterBuilder::new()
+                .max_out_degree(2)
+                .build_2d(&pts)
+                .expect("valid");
+            ratio2.push(r2.diameter / r2.lower_bound);
+        }
+        rows.push((n as f64, vec![ratio6.mean(), ratio2.mean()]));
+    }
+    let names = ["diameter/LB (deg 6)", "diameter/LB (deg 2)"];
+    println!("{}", series_markdown("nodes", &names, &rows));
+    println!(
+        "(both ratios approach 1: the diameter variant is asymptotically optimal in the disk)"
+    );
+    if let Some(dir) = &args.out {
+        let p = write_result(dir, "min_diameter.csv", &series_csv("nodes", &names, &rows))
+            .expect("write CSV");
+        eprintln!("wrote {}", p.display());
+    }
+}

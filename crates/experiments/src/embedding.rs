@@ -1,0 +1,325 @@
+//! The end-to-end embedding experiment the paper leaves as future work:
+//! measure a synthetic underlay, embed hosts into Euclidean space (GNP or
+//! Vivaldi), build the multicast tree on the coordinates, then evaluate the
+//! tree on the **true** delays.
+
+use omt_baselines::{GreedyBuilder, GreedyObjective};
+use omt_core::{NdGridBuilder, PolarGridBuilder, SphereGridBuilder};
+use omt_geom::{Point, Point2, Point3};
+use omt_net::{
+    distortion_report, gnp_embed, stress, vivaldi_embed, DelayMatrix, GnpConfig, VivaldiConfig,
+    WaxmanConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One embedding pipeline's result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmbeddingRow {
+    /// Pipeline label.
+    pub method: String,
+    /// Embedding stress against the true delays (0 = perfect; blank for
+    /// coordinate-free baselines).
+    pub stress: Option<f64>,
+    /// Tree radius in embedded space (what the algorithm believes).
+    pub embedded_radius: Option<f64>,
+    /// Tree radius on true delays (what a deployment observes).
+    pub true_radius: f64,
+    /// `true_radius` over the universal true lower bound.
+    pub true_ratio: f64,
+}
+
+/// Configuration of the embedding experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EmbeddingConfig {
+    /// Number of underlay routers.
+    pub routers: usize,
+    /// Number of multicast hosts (first host is the source).
+    pub hosts: usize,
+    /// Out-degree budget for every tree.
+    pub degree: u32,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        Self {
+            routers: 300,
+            hosts: 120,
+            degree: 6,
+        }
+    }
+}
+
+/// Runs the experiment once with the given seed; returns one row per
+/// pipeline:
+///
+/// * polar grid on GNP coordinates in 2-D, 3-D, and 5-D;
+/// * polar grid on Vivaldi coordinates in 3-D;
+/// * compact tree directly on the true delay matrix (the coordinate-free
+///   quadratic reference — embeddings compete against this) and on the
+///   true router positions;
+/// * an oracle polar grid on the true router positions (how much of the
+///   loss is the embedding's fault).
+pub fn run_embedding(seed: u64, config: &EmbeddingConfig) -> Vec<EmbeddingRow> {
+    assert!(config.hosts >= 2, "need a source and at least one receiver");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let underlay = WaxmanConfig {
+        routers: config.routers,
+        ..WaxmanConfig::default()
+    }
+    .sample(&mut rng);
+    // Hosts = the first `hosts` routers (positions are uniform anyway).
+    let hosts: Vec<usize> = (0..config.hosts).collect();
+    let truth = DelayMatrix::from_graph(&underlay, &hosts);
+    let receivers: Vec<usize> = (1..config.hosts).collect();
+    let true_lb = receivers
+        .iter()
+        .map(|&h| truth.get(0, h))
+        .fold(0.0, f64::max);
+
+    let mut rows = Vec::new();
+
+    // --- GNP pipelines at three dimensions.
+    rows.push(gnp_pipeline::<2>(
+        &truth,
+        &receivers,
+        config,
+        &mut rng,
+        "gnp-2d + polar-grid",
+    ));
+    rows.push(gnp_pipeline::<3>(
+        &truth,
+        &receivers,
+        config,
+        &mut rng,
+        "gnp-3d + sphere-grid",
+    ));
+    rows.push(gnp_pipeline::<5>(
+        &truth,
+        &receivers,
+        config,
+        &mut rng,
+        "gnp-5d + nd-grid",
+    ));
+
+    // --- Vivaldi in 3-D.
+    {
+        let coords: Vec<Point3> = vivaldi_embed(&truth, &VivaldiConfig::default(), &mut rng);
+        let est = DelayMatrix::from_fn(truth.len(), |i, j| coords[i].distance(&coords[j]));
+        let s = stress(&truth, &est);
+        let source = coords[0];
+        let pts: Vec<Point3> = receivers.iter().map(|&h| coords[h]).collect();
+        let tree = SphereGridBuilder::new()
+            .max_out_degree(config.degree.max(2))
+            .build(source, &pts)
+            .expect("valid embedding");
+        let rep = distortion_report(&tree, &truth, 0, &receivers);
+        rows.push(EmbeddingRow {
+            method: "vivaldi-3d + sphere-grid".into(),
+            stress: Some(s),
+            embedded_radius: Some(rep.embedded_radius),
+            true_radius: rep.true_radius,
+            true_ratio: rep.true_ratio,
+        });
+    }
+
+    // --- The true coordinate-free reference: CPT built directly on the
+    // measured delay matrix. Embedding pipelines pay their whole error
+    // budget against this row.
+    {
+        let t = omt_net::matrix_compact_tree(&truth, 0, config.degree);
+        rows.push(EmbeddingRow {
+            method: "cpt on true delay matrix".into(),
+            stress: None,
+            embedded_radius: None,
+            true_radius: t.radius(),
+            true_ratio: if true_lb > 0.0 {
+                t.radius() / true_lb
+            } else {
+                1.0
+            },
+        });
+    }
+
+    // --- CPT on the true router positions (sidesteps embedding error in
+    // *coordinates* but still pays the position/delay mismatch).
+    {
+        let source = underlay.position(0);
+        let pts: Vec<Point2> = receivers.iter().map(|&h| underlay.position(h)).collect();
+        let tree = GreedyBuilder::new(GreedyObjective::MinDelay)
+            .max_out_degree(config.degree)
+            .build(source, &pts)
+            .expect("valid positions");
+        let rep = distortion_report(&tree, &truth, 0, &receivers);
+        rows.push(EmbeddingRow {
+            method: "cpt on router positions".into(),
+            stress: None,
+            embedded_radius: Some(rep.embedded_radius),
+            true_radius: rep.true_radius,
+            true_ratio: rep.true_ratio,
+        });
+    }
+
+    // --- Oracle: polar grid on the true router positions.
+    {
+        let source = underlay.position(0);
+        let pts: Vec<Point2> = receivers.iter().map(|&h| underlay.position(h)).collect();
+        let tree = PolarGridBuilder::new()
+            .max_out_degree(config.degree)
+            .build(source, &pts)
+            .expect("valid positions");
+        let rep = distortion_report(&tree, &truth, 0, &receivers);
+        rows.push(EmbeddingRow {
+            method: "polar-grid on router positions".into(),
+            stress: None,
+            embedded_radius: Some(rep.embedded_radius),
+            true_radius: rep.true_radius,
+            true_ratio: rep.true_ratio,
+        });
+    }
+
+    debug_assert!(true_lb > 0.0);
+    rows
+}
+
+fn gnp_pipeline<const D: usize>(
+    truth: &DelayMatrix,
+    receivers: &[usize],
+    config: &EmbeddingConfig,
+    rng: &mut SmallRng,
+    label: &str,
+) -> EmbeddingRow {
+    let emb = gnp_embed::<D>(truth, &GnpConfig::default(), rng);
+    let est = DelayMatrix::from_fn(truth.len(), |i, j| {
+        emb.coordinates[i].distance(&emb.coordinates[j])
+    });
+    let s = stress(truth, &est);
+    let source = emb.coordinates[0];
+    let pts: Vec<Point<D>> = receivers.iter().map(|&h| emb.coordinates[h]).collect();
+    // Dispatch to the dimension-appropriate builder.
+    let (embedded_radius, rep) = match D {
+        2 => {
+            let src = Point2::new([source[0], source[1]]);
+            let p2: Vec<Point2> = pts.iter().map(|p| Point2::new([p[0], p[1]])).collect();
+            let tree = PolarGridBuilder::new()
+                .max_out_degree(config.degree)
+                .build(src, &p2)
+                .expect("valid embedding");
+            (tree.radius(), distortion_report(&tree, truth, 0, receivers))
+        }
+        3 => {
+            let src = Point3::new([source[0], source[1], source[2]]);
+            let p3: Vec<Point3> = pts
+                .iter()
+                .map(|p| Point3::new([p[0], p[1], p[2]]))
+                .collect();
+            let tree = SphereGridBuilder::new()
+                .max_out_degree(config.degree.max(2))
+                .build(src, &p3)
+                .expect("valid embedding");
+            (tree.radius(), distortion_report(&tree, truth, 0, receivers))
+        }
+        _ => {
+            let tree = NdGridBuilder::new()
+                .max_out_degree(config.degree.max(2))
+                .build(source, &pts)
+                .expect("valid embedding");
+            (tree.radius(), distortion_report(&tree, truth, 0, receivers))
+        }
+    };
+    EmbeddingRow {
+        method: label.to_string(),
+        stress: Some(s),
+        embedded_radius: Some(embedded_radius),
+        true_radius: rep.true_radius,
+        true_ratio: rep.true_ratio,
+    }
+}
+
+/// Formats the rows as a markdown table.
+pub fn embedding_markdown(rows: &[EmbeddingRow]) -> String {
+    let mut out = String::from(
+        "| Pipeline | Stress | Embedded radius | True radius | True/LB |\n|---|---:|---:|---:|---:|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.3} |\n",
+            r.method,
+            r.stress.map_or("—".into(), |s| format!("{s:.3}")),
+            r.embedded_radius.map_or("—".into(), |x| format!("{x:.3}")),
+            r.true_radius,
+            r.true_ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_produces_sound_rows() {
+        let rows = run_embedding(
+            1,
+            &EmbeddingConfig {
+                routers: 120,
+                hosts: 50,
+                degree: 6,
+            },
+        );
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.true_radius > 0.0, "{}: zero radius", r.method);
+            assert!(
+                r.true_ratio >= 1.0 - 1e-9,
+                "{}: ratio {} below 1",
+                r.method,
+                r.true_ratio
+            );
+            assert!(
+                r.true_ratio < 30.0,
+                "{}: ratio {} absurd",
+                r.method,
+                r.true_ratio
+            );
+            if let Some(s) = r.stress {
+                assert!((0.0..2.0).contains(&s), "{}: stress {s}", r.method);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_dimensional_gnp_embeds_better() {
+        let rows = run_embedding(
+            2,
+            &EmbeddingConfig {
+                routers: 150,
+                hosts: 60,
+                degree: 6,
+            },
+        );
+        let s2 = rows[0].stress.expect("gnp-2d has stress");
+        let s5 = rows[2].stress.expect("gnp-5d has stress");
+        assert!(
+            s5 < s2 + 0.05,
+            "5-D stress {s5} should not exceed 2-D stress {s2}"
+        );
+    }
+
+    #[test]
+    fn markdown_has_all_pipelines() {
+        let rows = run_embedding(
+            3,
+            &EmbeddingConfig {
+                routers: 100,
+                hosts: 40,
+                degree: 6,
+            },
+        );
+        let md = embedding_markdown(&rows);
+        assert!(md.contains("gnp-2d"));
+        assert!(md.contains("vivaldi-3d"));
+        assert!(md.contains("polar-grid on router positions"));
+    }
+}

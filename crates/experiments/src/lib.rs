@@ -1,0 +1,35 @@
+//! Experiment harness reproducing the evaluation of *Overlay Multicast
+//! Trees of Minimal Delay*.
+//!
+//! Each table and figure of the paper has a module and a runnable binary:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I | [`runner`] | `cargo run --release -p omt-experiments --bin table1` |
+//! | Figure 4 (delay vs. bounds) | [`runner`] | `--bin fig4` |
+//! | Figure 5 (degree 2 vs. 6) | [`runner`] | `--bin fig5` |
+//! | Figure 6 (rings vs. n) | [`runner`] | `--bin fig6` |
+//! | Figure 7 (running time) | [`runner`] | `--bin fig7` |
+//! | Figure 8 (3-D unit sphere) | [`runner`] | `--bin fig8` |
+//! | Ablations (ours) | [`ablation`] | `--bin ablation` |
+//! | Baseline comparison (ours) | [`baseline_cmp`] | `--bin baseline_cmp` |
+//! | Convex regions (ours) | [`convex`] | `--bin convex` |
+//! | Embedding distortion (paper's future work) | [`embedding`] | `--bin embedding` |
+//! | Failure resilience (ours) | [`resilience`] | `--bin resilience` |
+//!
+//! All binaries accept `--sizes`, `--trials`, `--seed`, `--out DIR` (CSV
+//! output) and `--quick`; see [`cli`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baseline_cmp;
+pub mod cli;
+pub mod convex;
+pub mod embedding;
+pub mod report;
+pub mod resilience;
+pub mod runner;
+pub mod stats;
+pub mod workload;

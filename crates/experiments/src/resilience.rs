@@ -1,0 +1,154 @@
+//! Failure resilience: how much of the group loses the stream when a
+//! random fraction of hosts crashes, per tree construction.
+//!
+//! Deep degree-2 chains strand whole suffixes; shallow degree-6 grids
+//! localize damage; the (infeasible) star strands nobody. This quantifies
+//! the robustness side of the fan-out trade-off the paper's delay
+//! objective doesn't capture.
+
+use omt_baselines::{star_tree, GreedyBuilder, GreedyObjective};
+use omt_core::PolarGridBuilder;
+use omt_geom::Point2;
+use omt_sim::simulate_with_failures;
+use rand::RngExt;
+
+use crate::stats::Accumulator;
+use crate::workload::{disk_trial, trial_rng};
+
+/// A named tree constructor over one workload.
+type Construction = (&'static str, Box<dyn Fn(&[Point2]) -> omt_tree::MulticastTree<2>>);
+
+/// Aggregated stranding for one (tree, crash-rate) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceRow {
+    /// Tree construction label.
+    pub tree: String,
+    /// Fraction of hosts crashed.
+    pub crash_rate: f64,
+    /// Mean fraction of *surviving* hosts cut off from the stream.
+    pub stranded_fraction: f64,
+    /// Deviation of the stranded fraction.
+    pub dev: f64,
+}
+
+/// Runs the resilience sweep: for each construction and crash rate,
+/// `trials` independent (workload, crash set) draws.
+pub fn run_resilience(
+    seed: u64,
+    n: usize,
+    crash_rates: &[f64],
+    trials: usize,
+) -> Vec<ResilienceRow> {
+    assert!(trials > 0, "need at least one trial");
+    let constructions: Vec<Construction> = vec![
+        (
+            "polar-grid deg6",
+            Box::new(|pts: &[Point2]| {
+                PolarGridBuilder::new()
+                    .build(Point2::ORIGIN, pts)
+                    .expect("valid")
+            }),
+        ),
+        (
+            "polar-grid deg2",
+            Box::new(|pts: &[Point2]| {
+                PolarGridBuilder::new()
+                    .max_out_degree(2)
+                    .build(Point2::ORIGIN, pts)
+                    .expect("valid")
+            }),
+        ),
+        (
+            "compact-tree deg6",
+            Box::new(|pts: &[Point2]| {
+                GreedyBuilder::new(GreedyObjective::MinDelay)
+                    .max_out_degree(6)
+                    .build(Point2::ORIGIN, pts)
+                    .expect("valid")
+            }),
+        ),
+        (
+            "star (unbounded)",
+            Box::new(|pts: &[Point2]| star_tree(Point2::ORIGIN, pts).expect("valid")),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, build) in &constructions {
+        for &rate in crash_rates {
+            let mut acc = Accumulator::new();
+            for trial in 0..trials {
+                let pts = disk_trial(seed, n, trial);
+                let tree = build(&pts);
+                let mut rng = trial_rng(seed ^ 0xFA11, n, trial);
+                let failed: Vec<usize> = (0..n).filter(|_| rng.random::<f64>() < rate).collect();
+                let report = simulate_with_failures(&tree, &failed);
+                let survivors = n - report.crashed;
+                if survivors > 0 {
+                    acc.push(report.stranded as f64 / survivors as f64);
+                }
+            }
+            rows.push(ResilienceRow {
+                tree: (*name).to_string(),
+                crash_rate: rate,
+                stranded_fraction: acc.mean(),
+                dev: acc.stddev(),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the rows as a markdown table.
+pub fn resilience_markdown(rows: &[ResilienceRow]) -> String {
+    let mut out = String::from(
+        "| Tree | Crash rate | Stranded (of survivors) | Dev |\n|---|---:|---:|---:|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.0}% | {:.2}% | {:.2}% |\n",
+            r.tree,
+            r.crash_rate * 100.0,
+            r.stranded_fraction * 100.0,
+            r.dev * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stars_never_strand_and_chains_strand_most() {
+        let rows = run_resilience(1, 1000, &[0.02], 4);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.tree == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .stranded_fraction
+        };
+        assert_eq!(get("star (unbounded)"), 0.0);
+        assert!(get("polar-grid deg2") > get("polar-grid deg6"));
+        assert!(get("polar-grid deg6") > 0.0);
+    }
+
+    #[test]
+    fn stranding_grows_with_crash_rate() {
+        let rows = run_resilience(2, 800, &[0.01, 0.05, 0.2], 3);
+        let deg6: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.tree == "polar-grid deg6")
+            .map(|r| r.stranded_fraction)
+            .collect();
+        assert!(deg6[0] < deg6[1] && deg6[1] < deg6[2], "{deg6:?}");
+    }
+
+    #[test]
+    fn markdown_formats() {
+        let rows = run_resilience(3, 200, &[0.1], 2);
+        let md = resilience_markdown(&rows);
+        assert!(md.contains("polar-grid deg6"));
+        assert!(md.contains("10%"));
+    }
+}

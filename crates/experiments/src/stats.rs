@@ -1,0 +1,103 @@
+//! Small statistics helpers for the experiment harness.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 for fewer than 2 observations).
+    /// The paper's "Dev" column is a population deviation over 200 trials.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_mean_and_deviation() {
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.stddev(), 0.0);
+        let one: Accumulator = [3.5].into_iter().collect();
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.stddev(), 0.0);
+    }
+
+    #[test]
+    fn extend_matches_collect() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let collected: Accumulator = data.into_iter().collect();
+        let mut extended = Accumulator::new();
+        extended.extend(data);
+        assert_eq!(collected, extended);
+    }
+
+    #[test]
+    fn constant_sequence_has_zero_deviation() {
+        let acc: Accumulator = std::iter::repeat_n(7.0, 100).collect();
+        assert!((acc.mean() - 7.0).abs() < 1e-12);
+        assert!(acc.stddev() < 1e-12);
+    }
+}

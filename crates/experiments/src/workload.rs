@@ -1,0 +1,96 @@
+//! Workload generation matching the paper's experimental setup: points
+//! uniformly distributed in the unit disk (2-D) or unit ball (3-D), with
+//! the source at the center, one independent set per trial.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use omt_geom::{Ball, Point2, Point3, Region};
+
+/// The problem sizes of Table I and Figures 4–8.
+pub const PAPER_SIZES: [usize; 10] = [
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+];
+
+/// A smaller sweep for quick runs and CI.
+pub const QUICK_SIZES: [usize; 6] = [100, 500, 1_000, 5_000, 10_000, 50_000];
+
+/// The paper uses 200 trials per size; at the largest sizes we scale down
+/// by default to keep wall-clock sane (the paper's own Dev column is
+/// already 0.00 there). Pass `--trials` to any experiment binary to
+/// restore 200 everywhere.
+pub fn default_trials(n: usize) -> usize {
+    if n <= 100_000 {
+        200
+    } else if n <= 1_000_000 {
+        20
+    } else {
+        5
+    }
+}
+
+/// A deterministic per-(size, trial) RNG, so experiments are reproducible
+/// and trials are independent.
+pub fn trial_rng(experiment_seed: u64, n: usize, trial: usize) -> SmallRng {
+    // SplitMix-style mixing of the three identifiers.
+    let mut z = experiment_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n as u64 + 1))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(trial as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// Uniform points in the unit disk for one trial.
+pub fn disk_trial(experiment_seed: u64, n: usize, trial: usize) -> Vec<Point2> {
+    let mut rng = trial_rng(experiment_seed, n, trial);
+    Ball::<2>::unit().sample_n(&mut rng, n)
+}
+
+/// Uniform points in the unit ball for one trial.
+pub fn ball_trial(experiment_seed: u64, n: usize, trial: usize) -> Vec<Point3> {
+    let mut rng = trial_rng(experiment_seed, n, trial);
+    Ball::<3>::unit().sample_n(&mut rng, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_paper() {
+        assert_eq!(PAPER_SIZES.len(), 10);
+        assert_eq!(PAPER_SIZES[0], 100);
+        assert_eq!(PAPER_SIZES[9], 5_000_000);
+    }
+
+    #[test]
+    fn default_trials_policy() {
+        assert_eq!(default_trials(100), 200);
+        assert_eq!(default_trials(100_000), 200);
+        assert_eq!(default_trials(500_000), 20);
+        assert_eq!(default_trials(5_000_000), 5);
+    }
+
+    #[test]
+    fn trials_are_reproducible_and_independent() {
+        let a = disk_trial(1, 50, 0);
+        let b = disk_trial(1, 50, 0);
+        assert_eq!(a, b);
+        let c = disk_trial(1, 50, 1);
+        assert_ne!(a, c);
+        let d = disk_trial(2, 50, 0);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn workloads_live_in_their_regions() {
+        for p in disk_trial(3, 500, 0) {
+            assert!(p.norm() <= 1.0 + 1e-12);
+        }
+        for p in ball_trial(3, 500, 0) {
+            assert!(p.norm() <= 1.0 + 1e-12);
+        }
+    }
+}

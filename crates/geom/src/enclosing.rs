@@ -1,0 +1,310 @@
+//! Smallest enclosing balls.
+//!
+//! The minimum-diameter tree construction of the paper's conclusion roots
+//! the grid at "an artificial root node … chosen among nodes closest to
+//! the sphere center" — i.e. the center of the smallest enclosing ball of
+//! the point set. Computed exactly in expected `O(n)` with Welzl's
+//! algorithm in 2-D; 3-D uses Ritter's approximate bounding sphere, which
+//! is within a few percent and entirely sufficient for root selection.
+
+use crate::point::{Point2, Point3};
+
+/// A circle in the plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point2,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Whether `p` lies inside or on the circle, with a small relative
+    /// tolerance (needed for floating-point boundary cases).
+    pub fn contains(&self, p: &Point2) -> bool {
+        p.distance(&self.center) <= self.radius * (1.0 + 1e-10) + 1e-12
+    }
+}
+
+/// The smallest circle enclosing all points (Welzl's algorithm, expected
+/// linear time on shuffled input — input order is shuffled internally with
+/// a fixed deterministic permutation so the result is reproducible).
+///
+/// Returns `None` for an empty input; a single point yields a zero-radius
+/// circle.
+///
+/// # Examples
+///
+/// ```
+/// use omt_geom::{enclosing::smallest_enclosing_circle, Point2};
+///
+/// let pts = vec![
+///     Point2::new([0.0, 0.0]),
+///     Point2::new([2.0, 0.0]),
+///     Point2::new([1.0, 1.0]),
+/// ];
+/// let c = smallest_enclosing_circle(&pts).unwrap();
+/// assert!((c.center.x() - 1.0).abs() < 1e-9);
+/// assert!((c.radius - 1.0).abs() < 1e-9);
+/// ```
+pub fn smallest_enclosing_circle(points: &[Point2]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    // Deterministic shuffle (SplitMix-driven Fisher-Yates) for the expected
+    // linear-time guarantee without depending on a caller RNG.
+    let mut pts: Vec<Point2> = points.to_vec();
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(0x14057b7ef767814f);
+        state
+    };
+    for i in (1..pts.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        pts.swap(i, j);
+    }
+    // Move-to-front variant of Welzl's algorithm (iterative, no recursion
+    // depth concerns).
+    let mut c = Circle {
+        center: pts[0],
+        radius: 0.0,
+    };
+    for i in 1..pts.len() {
+        if c.contains(&pts[i]) {
+            continue;
+        }
+        // pts[i] is on the boundary of the new circle.
+        c = Circle {
+            center: pts[i],
+            radius: 0.0,
+        };
+        for j in 0..i {
+            if c.contains(&pts[j]) {
+                continue;
+            }
+            // pts[i] and pts[j] are both on the boundary.
+            c = circle_from_two(&pts[i], &pts[j]);
+            for k in 0..j {
+                if c.contains(&pts[k]) {
+                    continue;
+                }
+                c = circle_from_three(&pts[i], &pts[j], &pts[k]);
+            }
+        }
+    }
+    Some(c)
+}
+
+fn circle_from_two(a: &Point2, b: &Point2) -> Circle {
+    let center = a.midpoint(b);
+    Circle {
+        center,
+        radius: center.distance(a),
+    }
+}
+
+/// Circumcircle of three points; falls back to the two-point circle of the
+/// farthest pair when (nearly) collinear.
+fn circle_from_three(a: &Point2, b: &Point2, c: &Point2) -> Circle {
+    let d = 2.0 * (a.x() * (b.y() - c.y()) + b.x() * (c.y() - a.y()) + c.x() * (a.y() - b.y()));
+    if d.abs() < 1e-14 {
+        // Collinear: the farthest pair's circle covers all three.
+        let candidates = [
+            circle_from_two(a, b),
+            circle_from_two(a, c),
+            circle_from_two(b, c),
+        ];
+        return candidates
+            .into_iter()
+            .max_by(|x, y| x.radius.total_cmp(&y.radius))
+            .expect("three candidates");
+    }
+    let a2 = a.norm_squared();
+    let b2 = b.norm_squared();
+    let c2 = c.norm_squared();
+    let ux = (a2 * (b.y() - c.y()) + b2 * (c.y() - a.y()) + c2 * (a.y() - b.y())) / d;
+    let uy = (a2 * (c.x() - b.x()) + b2 * (a.x() - c.x()) + c2 * (b.x() - a.x())) / d;
+    let center = Point2::new([ux, uy]);
+    Circle {
+        center,
+        radius: center.distance(a),
+    }
+}
+
+/// A ball in three dimensions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sphere {
+    /// Center of the ball.
+    pub center: Point3,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Whether `p` lies inside or on the sphere (small tolerance).
+    pub fn contains(&self, p: &Point3) -> bool {
+        p.distance(&self.center) <= self.radius * (1.0 + 1e-10) + 1e-12
+    }
+}
+
+/// Ritter's approximate bounding sphere: at most ~5% larger than optimal,
+/// linear time, and always a true enclosure.
+///
+/// Returns `None` for an empty input.
+pub fn bounding_sphere(points: &[Point3]) -> Option<Sphere> {
+    let first = *points.first()?;
+    // Farthest point from an arbitrary start, then farthest from that —
+    // a diameter-ish pair.
+    let far = |from: &Point3| {
+        *points
+            .iter()
+            .max_by(|a, b| {
+                a.distance_squared(from)
+                    .total_cmp(&b.distance_squared(from))
+            })
+            .expect("nonempty")
+    };
+    let a = far(&first);
+    let b = far(&a);
+    let mut center = a.midpoint(&b);
+    let mut radius = 0.5 * a.distance(&b);
+    // Grow to cover stragglers.
+    for p in points {
+        let d = p.distance(&center);
+        if d > radius {
+            let new_radius = 0.5 * (radius + d);
+            let shift = (d - new_radius) / d;
+            center = center + (*p - center) * shift;
+            radius = new_radius * (1.0 + 1e-12);
+        }
+    }
+    Some(Sphere { center, radius })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn encloses_all_points() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for trial in 0..20 {
+            let n = 1 + (trial * 13) % 200;
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| Point2::new([rng.random_range(-9.0..9.0), rng.random_range(-9.0..9.0)]))
+                .collect();
+            let c = smallest_enclosing_circle(&pts).unwrap();
+            for p in &pts {
+                assert!(c.contains(p), "trial {trial}: {p:?} outside {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimality_versus_brute_force() {
+        // For small sets, check against the brute-force optimum over all
+        // 2- and 3-point support circles.
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..15 {
+            let n = 3 + rng.random_range(0..8usize);
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| Point2::new([rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)]))
+                .collect();
+            let c = smallest_enclosing_circle(&pts).unwrap();
+            let mut best = f64::INFINITY;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let cand = circle_from_two(&pts[i], &pts[j]);
+                    if pts.iter().all(|p| cand.contains(p)) {
+                        best = best.min(cand.radius);
+                    }
+                    for k in (j + 1)..n {
+                        let cand = circle_from_three(&pts[i], &pts[j], &pts[k]);
+                        if pts.iter().all(|p| cand.contains(p)) {
+                            best = best.min(cand.radius);
+                        }
+                    }
+                }
+            }
+            assert!(
+                c.radius <= best * (1.0 + 1e-9),
+                "Welzl {} vs brute {}",
+                c.radius,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn known_configurations() {
+        // Equilateral-ish right triangle on a circle of radius 1.
+        let c = smallest_enclosing_circle(&[
+            Point2::new([1.0, 0.0]),
+            Point2::new([-1.0, 0.0]),
+            Point2::new([0.0, 1.0]),
+        ])
+        .unwrap();
+        assert!(c.center.norm() < 1e-9);
+        assert!((c.radius - 1.0).abs() < 1e-9);
+        // Two points: diametral circle.
+        let c = smallest_enclosing_circle(&[Point2::ORIGIN, Point2::new([2.0, 0.0])]).unwrap();
+        assert!((c.radius - 1.0).abs() < 1e-12);
+        // One point / empty.
+        let c = smallest_enclosing_circle(&[Point2::new([5.0, 5.0])]).unwrap();
+        assert_eq!(c.radius, 0.0);
+        assert!(smallest_enclosing_circle(&[]).is_none());
+    }
+
+    #[test]
+    fn collinear_points() {
+        let line: Vec<Point2> = (0..20).map(|i| Point2::new([i as f64, 0.0])).collect();
+        let c = smallest_enclosing_circle(&line).unwrap();
+        assert!((c.radius - 9.5).abs() < 1e-9);
+        assert!((c.center.x() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates() {
+        let pts = vec![Point2::new([1.0, 1.0]); 10];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        assert_eq!(c.radius, 0.0);
+    }
+
+    #[test]
+    fn bounding_sphere_encloses_and_is_tightish() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pts: Vec<Point3> = (0..300)
+            .map(|_| {
+                Point3::new([
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                ])
+            })
+            .collect();
+        let s = bounding_sphere(&pts).unwrap();
+        for p in &pts {
+            assert!(s.contains(p));
+        }
+        // Lower bound: half the farthest-pair distance; Ritter is within
+        // a modest factor of it.
+        let mut diam = 0.0f64;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                diam = diam.max(pts[i].distance(&pts[j]));
+            }
+        }
+        assert!(s.radius >= diam / 2.0 - 1e-9);
+        assert!(
+            s.radius <= diam * 0.75,
+            "radius {} vs diameter {}",
+            s.radius,
+            diam
+        );
+        assert!(bounding_sphere(&[]).is_none());
+    }
+}

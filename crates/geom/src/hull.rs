@@ -1,0 +1,215 @@
+//! Convex hulls and point-set diameters.
+//!
+//! The minimum-diameter variant of the tree problem (discussed in the
+//! paper's conclusion) needs the *diameter of the point set* — the largest
+//! pairwise distance — as its lower bound: the two farthest points must be
+//! connected through any spanning tree. Computed exactly in `O(n log n)`
+//! via Andrew's monotone chain hull and rotating calipers.
+
+use crate::point::Point2;
+
+/// The convex hull of a 2-D point set in counter-clockwise order, without
+/// repetition of the first vertex. Collinear points on the boundary are
+/// dropped. Returns all distinct inputs if fewer than 3 points remain
+/// (degenerate hulls).
+///
+/// # Examples
+///
+/// ```
+/// use omt_geom::{hull::convex_hull, Point2};
+///
+/// let pts = vec![
+///     Point2::new([0.0, 0.0]),
+///     Point2::new([2.0, 0.0]),
+///     Point2::new([1.0, 0.5]), // interior
+///     Point2::new([2.0, 2.0]),
+///     Point2::new([0.0, 2.0]),
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// ```
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| a.x().total_cmp(&b.x()).then(a.y().total_cmp(&b.y())));
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let cross = |o: &Point2, a: &Point2, b: &Point2| {
+        (a.x() - o.x()) * (b.y() - o.y()) - (a.y() - o.y()) * (b.x() - o.x())
+    };
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev() {
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // the first point is repeated at the end
+                // Fully collinear inputs can collapse to a 2-point "hull" with a
+                // duplicate; dedup defensively.
+    hull.dedup();
+    hull
+}
+
+/// The diameter of a point set — the largest pairwise Euclidean distance —
+/// and a pair of points attaining it, via rotating calipers over the
+/// convex hull. `O(n log n)`.
+///
+/// Returns `None` for fewer than 2 points.
+///
+/// # Examples
+///
+/// ```
+/// use omt_geom::{hull::diameter, Point2};
+///
+/// let pts = vec![
+///     Point2::new([0.0, 0.0]),
+///     Point2::new([3.0, 4.0]),
+///     Point2::new([1.0, 1.0]),
+/// ];
+/// let (d, a, b) = diameter(&pts).unwrap();
+/// assert_eq!(d, 5.0);
+/// assert_eq!(a.distance(&b), 5.0);
+/// ```
+pub fn diameter(points: &[Point2]) -> Option<(f64, Point2, Point2)> {
+    let hull = convex_hull(points);
+    let m = hull.len();
+    match m {
+        0 => None,
+        1 => {
+            if points.len() >= 2 {
+                // All points coincide.
+                Some((0.0, hull[0], hull[0]))
+            } else {
+                None
+            }
+        }
+        2 => Some((hull[0].distance(&hull[1]), hull[0], hull[1])),
+        _ => {
+            // Rotating calipers: for each edge, advance the antipodal point.
+            let area2 = |a: &Point2, b: &Point2, c: &Point2| {
+                ((b.x() - a.x()) * (c.y() - a.y()) - (b.y() - a.y()) * (c.x() - a.x())).abs()
+            };
+            let mut best = (0.0f64, hull[0], hull[0]);
+            let mut j = 1usize;
+            for i in 0..m {
+                let ni = (i + 1) % m;
+                // Advance j while the triangle area keeps growing.
+                while area2(&hull[i], &hull[ni], &hull[(j + 1) % m])
+                    > area2(&hull[i], &hull[ni], &hull[j])
+                {
+                    j = (j + 1) % m;
+                }
+                for p in [&hull[i], &hull[ni]] {
+                    let d = p.distance(&hull[j]);
+                    if d > best.0 {
+                        best = (d, *p, hull[j]);
+                    }
+                }
+            }
+            Some(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_diameter(points: &[Point2]) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                best = best.max(points[i].distance(&points[j]));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([1.0, 0.0]),
+            Point2::new([1.0, 1.0]),
+            Point2::new([0.0, 1.0]),
+            Point2::new([0.5, 0.5]),
+            Point2::new([0.5, 0.0]), // collinear boundary point
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        // Counter-clockwise orientation.
+        let mut area = 0.0;
+        for i in 0..hull.len() {
+            let a = &hull[i];
+            let b = &hull[(i + 1) % hull.len()];
+            area += a.x() * b.y() - b.x() * a.y();
+        }
+        assert!(area > 0.0, "hull not counter-clockwise");
+        assert!((area / 2.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point2::new([1.0, 2.0])]).len(), 1);
+        // Duplicates collapse.
+        let hull = convex_hull(&[Point2::new([1.0, 2.0]); 5]);
+        assert_eq!(hull.len(), 1);
+        // Collinear points give the two extremes.
+        let line: Vec<Point2> = (0..10)
+            .map(|i| Point2::new([i as f64, 2.0 * i as f64]))
+            .collect();
+        let hull = convex_hull(&line);
+        assert_eq!(hull.len(), 2);
+    }
+
+    #[test]
+    fn diameter_matches_brute_force() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for trial in 0..20 {
+            let n = 3 + (trial * 7) % 60;
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| Point2::new([rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)]))
+                .collect();
+            let (d, a, b) = diameter(&pts).unwrap();
+            let brute = brute_diameter(&pts);
+            assert!((d - brute).abs() < 1e-9, "trial {trial}: {d} vs {brute}");
+            assert!((a.distance(&b) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diameter_degenerates() {
+        assert!(diameter(&[]).is_none());
+        assert!(diameter(&[Point2::ORIGIN]).is_none());
+        let (d, _, _) = diameter(&[Point2::ORIGIN, Point2::new([3.0, 4.0])]).unwrap();
+        assert_eq!(d, 5.0);
+        let (d, _, _) = diameter(&[Point2::new([1.0, 1.0]); 4]).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn collinear_diameter() {
+        let line: Vec<Point2> = (0..50)
+            .map(|i| Point2::new([i as f64 * 0.1, 0.0]))
+            .collect();
+        let (d, _, _) = diameter(&line).unwrap();
+        assert!((d - 4.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the geometric substrate.
+
+use core::f64::consts::TAU;
+
+use omt_geom::{
+    normalize_angle, Ball, BoxRegion, Point, Point2, Point3, PolarPoint, Region, RingSegment,
+    ShellCell, SphericalPoint,
+};
+use proptest::prelude::*;
+
+fn finite_point2() -> impl Strategy<Value = Point2> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y)| Point2::new([x, y]))
+}
+
+fn finite_point3() -> impl Strategy<Value = Point3> {
+    (-1e3f64..1e3, -1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y, z)| Point3::new([x, y, z]))
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in finite_point2(), b in finite_point2(), c in finite_point2()) {
+        let direct = a.distance(&c);
+        let via = a.distance(&b) + b.distance(&c);
+        prop_assert!(direct <= via + 1e-6 * (1.0 + via));
+    }
+
+    #[test]
+    fn norm_is_homogeneous(p in finite_point2(), s in -100.0f64..100.0) {
+        let scaled = (p * s).norm();
+        prop_assert!((scaled - p.norm() * s.abs()).abs() < 1e-6 * (1.0 + scaled));
+    }
+
+    #[test]
+    fn polar_round_trip(p in finite_point2()) {
+        let rt = PolarPoint::from_cartesian(&p).to_cartesian();
+        prop_assert!(p.distance(&rt) < 1e-9 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn spherical_round_trip(p in finite_point3()) {
+        let rt = SphericalPoint::from_cartesian(&p).to_cartesian();
+        prop_assert!(p.distance(&rt) < 1e-9 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn normalized_angles_in_range(theta in -1e5f64..1e5) {
+        let a = normalize_angle(theta);
+        prop_assert!((0.0..TAU).contains(&a), "angle {a}");
+    }
+
+    #[test]
+    fn segment_split4_partitions(
+        r_lo in 0.0f64..10.0,
+        dr in 0.001f64..10.0,
+        t_lo in 0.0f64..3.0,
+        dt in 0.001f64..3.0,
+        fr in 0.0f64..1.0,
+        ft in 0.0f64..1.0,
+    ) {
+        let seg = RingSegment::new(r_lo, r_lo + dr, t_lo, t_lo + dt);
+        // An interior point of the segment.
+        let p = PolarPoint::new(
+            r_lo + fr.min(0.999) * dr,
+            t_lo + ft.min(0.999) * dt,
+        );
+        prop_assert!(seg.contains(&p));
+        let kids = seg.split4();
+        let containing = kids.iter().filter(|k| k.contains(&p)).count();
+        prop_assert_eq!(containing, 1);
+        prop_assert!(kids[seg.classify4(&p)].contains(&p));
+        // Areas tile exactly.
+        let total: f64 = kids.iter().map(RingSegment::area).sum();
+        prop_assert!((total - seg.area()).abs() < 1e-9 * (1.0 + seg.area()));
+    }
+
+    #[test]
+    fn shell_split8_partitions(
+        r_lo in 0.0f64..5.0,
+        dr in 0.001f64..5.0,
+        t_lo in 0.0f64..3.0,
+        dt in 0.001f64..3.0,
+        z_lo in -1.0f64..0.99,
+        fz in 0.001f64..1.0,
+        fr in 0.0f64..1.0,
+        ft in 0.0f64..1.0,
+        fzz in 0.0f64..1.0,
+    ) {
+        let z_hi = z_lo + fz * (1.0 - z_lo);
+        let cell = ShellCell::new(r_lo, r_lo + dr, t_lo, t_lo + dt, z_lo, z_hi);
+        let p = SphericalPoint::new(
+            r_lo + fr.min(0.999) * dr,
+            t_lo + ft.min(0.999) * dt,
+            z_lo + fzz.min(0.999) * (z_hi - z_lo),
+        );
+        prop_assert!(cell.contains(&p));
+        let kids = cell.split8();
+        prop_assert_eq!(kids.iter().filter(|k| k.contains(&p)).count(), 1);
+        prop_assert!(kids[cell.classify8(&p)].contains(&p));
+        let total: f64 = kids.iter().map(ShellCell::volume).sum();
+        prop_assert!((total - cell.volume()).abs() < 1e-9 * (1.0 + cell.volume()));
+    }
+
+    #[test]
+    fn ball_samples_inside(seed in 0u64..1000, radius in 0.001f64..100.0) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ball = Ball::<3>::new(Point::ORIGIN, radius);
+        for p in ball.sample_n(&mut rng, 32) {
+            prop_assert!(ball.contains(&p));
+        }
+    }
+
+    #[test]
+    fn box_samples_inside(
+        seed in 0u64..1000,
+        x in -10.0f64..10.0,
+        y in -10.0f64..10.0,
+        w in 0.001f64..10.0,
+        h in 0.001f64..10.0,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let b = BoxRegion::new(Point::new([x, y]), Point::new([x + w, y + h]));
+        for p in b.sample_n(&mut rng, 32) {
+            prop_assert!(b.contains(&p));
+        }
+        prop_assert!(b.contains(&b.reference_point()));
+    }
+
+    #[test]
+    fn lerp_endpoints(a in finite_point2(), b in finite_point2()) {
+        prop_assert!(a.lerp(&b, 0.0).distance(&a) < 1e-9 * (1.0 + a.norm()));
+        prop_assert!(a.lerp(&b, 1.0).distance(&b) < 1e-9 * (1.0 + b.norm()));
+        let m = a.midpoint(&b);
+        prop_assert!((m.distance(&a) - m.distance(&b)).abs() < 1e-6 * (1.0 + a.distance(&b)));
+    }
+}

@@ -1,0 +1,221 @@
+//! End-to-end delay matrices and embedding-quality metrics.
+
+use crate::graph::Graph;
+
+/// A symmetric matrix of end-to-end unicast delays between `n` hosts.
+///
+/// This is the ground truth the embeddings approximate and the distortion
+/// experiments measure against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DelayMatrix {
+    n: usize,
+    /// Row-major `n × n`; symmetric with zero diagonal.
+    data: Vec<f64>,
+}
+
+impl DelayMatrix {
+    /// Builds the matrix of shortest-path delays between the given hosts
+    /// (node indices of `graph`), one Dijkstra per host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any host index is out of range or any host pair is
+    /// disconnected.
+    pub fn from_graph(graph: &Graph, hosts: &[usize]) -> Self {
+        let n = hosts.len();
+        let mut data = vec![0.0; n * n];
+        for (i, &h) in hosts.iter().enumerate() {
+            assert!(h < graph.len(), "host index {h} out of range");
+            let d = graph.dijkstra(h);
+            for (j, &g) in hosts.iter().enumerate() {
+                assert!(
+                    d[g].is_finite(),
+                    "hosts {h} and {g} are disconnected in the underlay"
+                );
+                data[i * n + j] = d[g];
+            }
+        }
+        // Symmetrize defensively (floating Dijkstra is already symmetric on
+        // undirected graphs, but keep the invariant airtight).
+        let mut m = Self { n, data };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (m.get(i, j) + m.get(j, i));
+                m.set(i, j, avg);
+            }
+            m.data[i * n + i] = 0.0;
+        }
+        m
+    }
+
+    /// Builds a matrix directly from a closure (for tests and synthetic
+    /// metrics). The closure is evaluated for `i < j` and mirrored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure returns a negative or non-finite value.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self {
+            n,
+            data: vec![0.0; n * n],
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                assert!(d >= 0.0 && d.is_finite(), "bad delay {d} for ({i},{j})");
+                m.set(i, j, d);
+            }
+        }
+        m
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Delay between hosts `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    fn set(&mut self, i: usize, j: usize, d: f64) {
+        self.data[i * self.n + j] = d;
+        self.data[j * self.n + i] = d;
+    }
+
+    /// The largest delay in the matrix.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean off-diagonal delay (0 for `n < 2`).
+    pub fn mean(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let sum: f64 = self.data.iter().sum();
+        sum / (self.n * (self.n - 1)) as f64
+    }
+}
+
+/// Normalized stress of an embedding: `sqrt(Σ (est - true)² / Σ true²)`
+/// over all host pairs `i < j`. Zero means a perfect embedding.
+///
+/// # Panics
+///
+/// Panics if `estimate` disagrees with `truth` in size.
+pub fn stress(truth: &DelayMatrix, estimate: &DelayMatrix) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "matrix sizes differ");
+    let n = truth.len();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let t = truth.get(i, j);
+            let e = estimate.get(i, j);
+            num += (e - t) * (e - t);
+            den += t * t;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Median relative error `|est - true| / true` over pairs with positive
+/// true delay. The headline metric of the GNP paper.
+pub fn median_relative_error(truth: &DelayMatrix, estimate: &DelayMatrix) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "matrix sizes differ");
+    let n = truth.len();
+    let mut errs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let t = truth.get(i, j);
+            if t > 0.0 {
+                errs.push((estimate.get(i, j) - t).abs() / t);
+            }
+        }
+    }
+    if errs.is_empty() {
+        return 0.0;
+    }
+    errs.sort_by(f64::total_cmp);
+    errs[errs.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WaxmanConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_graph_is_symmetric_metric() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = WaxmanConfig {
+            routers: 60,
+            ..WaxmanConfig::default()
+        }
+        .sample(&mut rng);
+        let hosts: Vec<usize> = (0..20).collect();
+        let m = DelayMatrix::from_graph(&g, &hosts);
+        assert_eq!(m.len(), 20);
+        for i in 0..20 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..20 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+                // Triangle inequality (shortest paths form a metric).
+                for k in 0..20 {
+                    assert!(m.get(i, j) <= m.get(i, k) + m.get(k, j) + 1e-9);
+                }
+            }
+        }
+        assert!(m.max() > 0.0);
+        assert!(m.mean() > 0.0 && m.mean() <= m.max());
+    }
+
+    #[test]
+    fn from_fn_mirrors() {
+        let m = DelayMatrix::from_fn(3, |i, j| (i + j) as f64);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn stress_zero_for_identical() {
+        let m = DelayMatrix::from_fn(5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(stress(&m, &m), 0.0);
+        assert_eq!(median_relative_error(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn stress_detects_scaling() {
+        let t = DelayMatrix::from_fn(6, |i, j| 1.0 + (i + j) as f64);
+        let e = DelayMatrix::from_fn(6, |i, j| 2.0 * (1.0 + (i + j) as f64));
+        // Doubling every entry gives stress exactly 1.
+        assert!((stress(&t, &e) - 1.0).abs() < 1e-12);
+        assert!((median_relative_error(&t, &e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let m = DelayMatrix::from_fn(0, |_, _| 0.0);
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), 0.0);
+        let m1 = DelayMatrix::from_fn(1, |_, _| 0.0);
+        assert_eq!(m1.mean(), 0.0);
+        assert_eq!(stress(&m1, &m1), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Evaluating trees built on *embedded* coordinates against *true* network
+//! delays — the experiment the paper's conclusion defers to future work
+//! ("there is usually a discrepancy between the Euclidean distances and the
+//! actual transmission delays; it is interesting to see how well the
+//! algorithm performs in combination with the mapping").
+
+use omt_tree::{MulticastTree, ParentRef};
+
+use crate::delay::DelayMatrix;
+
+/// Per-node true delays of an overlay tree: the sum of **measured** unicast
+/// delays along each tree path, rather than embedded Euclidean distances.
+///
+/// `host_of_node[i]` is the delay-matrix index of tree node `i`, and
+/// `source_host` the matrix index of the source.
+///
+/// # Panics
+///
+/// Panics if `host_of_node` doesn't match the tree size or an index is out
+/// of range for the matrix.
+pub fn true_delays<const D: usize>(
+    tree: &MulticastTree<D>,
+    delays: &DelayMatrix,
+    source_host: usize,
+    host_of_node: &[usize],
+) -> Vec<f64> {
+    assert_eq!(host_of_node.len(), tree.len(), "host mapping size mismatch");
+    assert!(source_host < delays.len(), "source host out of range");
+    let mut out = vec![f64::NAN; tree.len()];
+    // BFS guarantees parents are resolved first.
+    for i in tree.iter_bfs() {
+        let h = host_of_node[i];
+        assert!(h < delays.len(), "host index {h} out of range");
+        let (parent_delay, parent_host) = match tree.parent(i) {
+            ParentRef::Source => (0.0, source_host),
+            ParentRef::Node(p) => (out[p], host_of_node[p]),
+        };
+        out[i] = parent_delay + delays.get(parent_host, h);
+    }
+    out
+}
+
+/// The true radius of the tree: the largest entry of [`true_delays`].
+pub fn true_radius<const D: usize>(
+    tree: &MulticastTree<D>,
+    delays: &DelayMatrix,
+    source_host: usize,
+    host_of_node: &[usize],
+) -> f64 {
+    true_delays(tree, delays, source_host, host_of_node)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Summary of how an embedding-built tree performs on true delays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistortionReport {
+    /// Radius measured in embedded (Euclidean) space.
+    pub embedded_radius: f64,
+    /// Radius measured with true network delays.
+    pub true_radius: f64,
+    /// The universal lower bound in true delay: the largest direct
+    /// source-to-host delay.
+    pub true_lower_bound: f64,
+    /// `true_radius / true_lower_bound` — what a deployment would observe.
+    pub true_ratio: f64,
+}
+
+/// Evaluates a tree built on embedded coordinates against the measured
+/// delay matrix.
+///
+/// # Panics
+///
+/// Same conditions as [`true_delays`].
+pub fn distortion_report<const D: usize>(
+    tree: &MulticastTree<D>,
+    delays: &DelayMatrix,
+    source_host: usize,
+    host_of_node: &[usize],
+) -> DistortionReport {
+    let true_radius = true_radius(tree, delays, source_host, host_of_node);
+    let true_lower_bound = host_of_node
+        .iter()
+        .map(|&h| delays.get(source_host, h))
+        .fold(0.0, f64::max);
+    DistortionReport {
+        embedded_radius: tree.radius(),
+        true_radius,
+        true_lower_bound,
+        true_ratio: if true_lower_bound > 0.0 {
+            true_radius / true_lower_bound
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::Point2;
+    use omt_tree::TreeBuilder;
+
+    /// source(host 0) -> node0(host 1) -> node1(host 2)
+    fn chain_tree() -> MulticastTree<2> {
+        let pts = vec![Point2::new([1.0, 0.0]), Point2::new([2.0, 0.0])];
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts);
+        b.attach_to_source(0).unwrap();
+        b.attach(1, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn true_delays_follow_matrix_not_geometry() {
+        let tree = chain_tree();
+        // True delays disagree with the embedding: hop 0->1 costs 10.
+        let m = DelayMatrix::from_fn(3, |i, j| match (i, j) {
+            (0, 1) => 1.0,
+            (1, 2) => 10.0,
+            (0, 2) => 2.0,
+            _ => unreachable!(),
+        });
+        let d = true_delays(&tree, &m, 0, &[1, 2]);
+        assert_eq!(d, vec![1.0, 11.0]);
+        assert_eq!(true_radius(&tree, &m, 0, &[1, 2]), 11.0);
+        let report = distortion_report(&tree, &m, 0, &[1, 2]);
+        assert_eq!(report.embedded_radius, 2.0);
+        assert_eq!(report.true_radius, 11.0);
+        assert_eq!(report.true_lower_bound, 2.0);
+        assert!((report.true_ratio - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_embedding_means_no_distortion() {
+        let tree = chain_tree();
+        let pts = [
+            Point2::ORIGIN,
+            Point2::new([1.0, 0.0]),
+            Point2::new([2.0, 0.0]),
+        ];
+        let m = DelayMatrix::from_fn(3, |i, j| pts[i].distance(&pts[j]));
+        let report = distortion_report(&tree, &m, 0, &[1, 2]);
+        assert!((report.embedded_radius - report.true_radius).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "host mapping size mismatch")]
+    fn mapping_size_checked() {
+        let tree = chain_tree();
+        let m = DelayMatrix::from_fn(3, |_, _| 1.0);
+        let _ = true_delays(&tree, &m, 0, &[1]);
+    }
+}

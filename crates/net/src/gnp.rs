@@ -1,0 +1,363 @@
+//! GNP-style landmark embedding (Ng & Zhang, reference [12] of the paper):
+//! a small set of landmarks is embedded first by minimizing pairwise stress
+//! against measured landmark-to-landmark delays; every other host is then
+//! placed independently against the landmarks only. This is the mapping the
+//! paper assumes has "already been done" before tree construction.
+//!
+//! The optimizer is plain gradient descent with step backtracking — crude
+//! but deterministic and dependency-free, and entirely adequate for the
+//! distortion experiments (the real GNP used Simplex downhill).
+
+use rand::{Rng, RngExt};
+
+use omt_geom::Point;
+
+use crate::delay::DelayMatrix;
+
+/// Configuration for the GNP embedding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GnpConfig {
+    /// Number of landmarks (the GNP paper recommends ≥ D + 1; 15 is their
+    /// headline setting).
+    pub landmarks: usize,
+    /// Gradient-descent iterations per optimization.
+    pub iterations: usize,
+    /// Number of random restarts (best result kept).
+    pub restarts: usize,
+}
+
+impl Default for GnpConfig {
+    fn default() -> Self {
+        Self {
+            landmarks: 15,
+            iterations: 400,
+            restarts: 3,
+        }
+    }
+}
+
+/// The result of a GNP embedding: one coordinate per host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GnpEmbedding<const D: usize> {
+    /// Host coordinates, in input order.
+    pub coordinates: Vec<Point<D>>,
+    /// Indices of the hosts that served as landmarks.
+    pub landmarks: Vec<usize>,
+}
+
+/// Embeds `n` hosts into `D` dimensions from their delay matrix.
+///
+/// Landmarks are chosen by greedy max–min distance (first landmark = host
+/// 0), then embedded jointly; remaining hosts are placed one at a time
+/// against the landmark coordinates.
+///
+/// # Panics
+///
+/// Panics if `config.landmarks < 2` (with `n ≥ 2`) or `iterations == 0`.
+pub fn gnp_embed<const D: usize>(
+    delays: &DelayMatrix,
+    config: &GnpConfig,
+    rng: &mut (impl Rng + ?Sized),
+) -> GnpEmbedding<D> {
+    let n = delays.len();
+    if n == 0 {
+        return GnpEmbedding {
+            coordinates: vec![],
+            landmarks: vec![],
+        };
+    }
+    if n == 1 {
+        return GnpEmbedding {
+            coordinates: vec![Point::ORIGIN],
+            landmarks: vec![0],
+        };
+    }
+    assert!(config.landmarks >= 2, "need at least two landmarks");
+    assert!(config.iterations > 0, "need at least one iteration");
+    let l = config.landmarks.min(n);
+    // Greedy max-min landmark selection.
+    let mut landmarks = vec![0usize];
+    while landmarks.len() < l {
+        let next = (0..n)
+            .filter(|i| !landmarks.contains(i))
+            .max_by(|&a, &b| {
+                let da = landmarks
+                    .iter()
+                    .map(|&m| delays.get(a, m))
+                    .fold(f64::INFINITY, f64::min);
+                let db = landmarks
+                    .iter()
+                    .map(|&m| delays.get(b, m))
+                    .fold(f64::INFINITY, f64::min);
+                da.total_cmp(&db)
+            })
+            .expect("candidates remain");
+        landmarks.push(next);
+    }
+    // Scale for random initialization.
+    let scale = delays.max().max(1e-9);
+
+    // Joint landmark optimization with restarts.
+    let mut best_coords: Option<(f64, Vec<Point<D>>)> = None;
+    for _ in 0..config.restarts.max(1) {
+        let mut coords: Vec<Point<D>> = (0..l)
+            .map(|_| {
+                let mut c = [0.0; D];
+                for x in &mut c {
+                    *x = rng.random_range(-0.5..0.5) * scale;
+                }
+                Point::new(c)
+            })
+            .collect();
+        let mut step = 0.1 * scale;
+        let mut err = landmark_error(&coords, &landmarks, delays);
+        for _ in 0..config.iterations {
+            let grads = landmark_gradients(&coords, &landmarks, delays);
+            let proposal: Vec<Point<D>> = coords
+                .iter()
+                .zip(&grads)
+                .map(|(c, g)| *c - *g * step)
+                .collect();
+            let new_err = landmark_error(&proposal, &landmarks, delays);
+            if new_err < err {
+                coords = proposal;
+                err = new_err;
+                step *= 1.1;
+            } else {
+                step *= 0.5;
+                if step < 1e-12 * scale {
+                    break;
+                }
+            }
+        }
+        if best_coords.as_ref().is_none_or(|(e, _)| err < *e) {
+            best_coords = Some((err, coords));
+        }
+    }
+    let landmark_coords = best_coords.expect("at least one restart").1;
+
+    // Place every host (landmarks keep their joint coordinates).
+    let mut coordinates = vec![Point::ORIGIN; n];
+    for (pos, &lm) in landmarks.iter().enumerate() {
+        coordinates[lm] = landmark_coords[pos];
+    }
+    for (h, coord) in coordinates.iter_mut().enumerate() {
+        if landmarks.contains(&h) {
+            continue;
+        }
+        *coord = place_host(h, &landmarks, &landmark_coords, delays, config, rng, scale);
+    }
+    GnpEmbedding {
+        coordinates,
+        landmarks,
+    }
+}
+
+/// Sum of squared pairwise errors over landmark pairs.
+fn landmark_error<const D: usize>(
+    coords: &[Point<D>],
+    landmarks: &[usize],
+    delays: &DelayMatrix,
+) -> f64 {
+    let l = coords.len();
+    let mut err = 0.0;
+    for i in 0..l {
+        for j in (i + 1)..l {
+            let est = coords[i].distance(&coords[j]);
+            let t = delays.get(landmarks[i], landmarks[j]);
+            err += (est - t) * (est - t);
+        }
+    }
+    err
+}
+
+fn landmark_gradients<const D: usize>(
+    coords: &[Point<D>],
+    landmarks: &[usize],
+    delays: &DelayMatrix,
+) -> Vec<Point<D>> {
+    let l = coords.len();
+    let mut grads = vec![Point::ORIGIN; l];
+    for i in 0..l {
+        for j in (i + 1)..l {
+            let diff = coords[i] - coords[j];
+            let est = diff.norm();
+            if est == 0.0 {
+                continue;
+            }
+            let t = delays.get(landmarks[i], landmarks[j]);
+            let coef = 2.0 * (est - t) / est;
+            grads[i] = grads[i] + diff * coef;
+            grads[j] = grads[j] - diff * coef;
+        }
+    }
+    grads
+}
+
+/// Places one host against the fixed landmark coordinates by gradient
+/// descent on the sum of squared errors, best of two starts (origin-ish
+/// random and the nearest landmark).
+#[allow(clippy::too_many_arguments)]
+fn place_host<const D: usize>(
+    host: usize,
+    landmarks: &[usize],
+    landmark_coords: &[Point<D>],
+    delays: &DelayMatrix,
+    config: &GnpConfig,
+    rng: &mut (impl Rng + ?Sized),
+    scale: f64,
+) -> Point<D> {
+    let error = |x: &Point<D>| -> f64 {
+        landmarks
+            .iter()
+            .zip(landmark_coords)
+            .map(|(&lm, lc)| {
+                let est = x.distance(lc);
+                let t = delays.get(host, lm);
+                (est - t) * (est - t)
+            })
+            .sum()
+    };
+    let gradient = |x: &Point<D>| -> Point<D> {
+        let mut g = Point::ORIGIN;
+        for (&lm, lc) in landmarks.iter().zip(landmark_coords) {
+            let diff = *x - *lc;
+            let est = diff.norm();
+            if est == 0.0 {
+                continue;
+            }
+            let t = delays.get(host, lm);
+            g = g + diff * (2.0 * (est - t) / est);
+        }
+        g
+    };
+    // Start near the closest landmark, jittered.
+    let nearest = landmarks
+        .iter()
+        .enumerate()
+        .min_by(|a, b| delays.get(host, *a.1).total_cmp(&delays.get(host, *b.1)))
+        .map(|(pos, _)| pos)
+        .expect("landmarks nonempty");
+    let mut best: Option<(f64, Point<D>)> = None;
+    for start in 0..2 {
+        let mut x = if start == 0 {
+            let mut jitter = [0.0; D];
+            for v in &mut jitter {
+                *v = rng.random_range(-0.05..0.05) * scale;
+            }
+            landmark_coords[nearest] + Point::new(jitter)
+        } else {
+            let mut c = [0.0; D];
+            for v in &mut c {
+                *v = rng.random_range(-0.5..0.5) * scale;
+            }
+            Point::new(c)
+        };
+        let mut step = 0.1 * scale;
+        let mut err = error(&x);
+        for _ in 0..config.iterations {
+            let proposal = x - gradient(&x) * step;
+            let new_err = error(&proposal);
+            if new_err < err {
+                x = proposal;
+                err = new_err;
+                step *= 1.1;
+            } else {
+                step *= 0.5;
+                if step < 1e-12 * scale {
+                    break;
+                }
+            }
+        }
+        if best.as_ref().is_none_or(|(e, _)| err < *e) {
+            best = Some((err, x));
+        }
+    }
+    best.expect("two starts ran").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{median_relative_error, stress};
+    use omt_geom::{Disk, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Delays that ARE Euclidean distances must embed almost perfectly.
+    #[test]
+    fn recovers_euclidean_metrics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = Disk::unit().sample_n(&mut rng, 40);
+        let truth = DelayMatrix::from_fn(40, |i, j| pts[i].distance(&pts[j]));
+        let emb: GnpEmbedding<2> = gnp_embed(
+            &truth,
+            &GnpConfig {
+                landmarks: 8,
+                iterations: 600,
+                restarts: 4,
+            },
+            &mut rng,
+        );
+        let est = DelayMatrix::from_fn(40, |i, j| emb.coordinates[i].distance(&emb.coordinates[j]));
+        let s = stress(&truth, &est);
+        assert!(s < 0.05, "stress {s}");
+        assert!(median_relative_error(&truth, &est) < 0.05);
+    }
+
+    #[test]
+    fn landmark_count_and_membership() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts = Disk::unit().sample_n(&mut rng, 30);
+        let truth = DelayMatrix::from_fn(30, |i, j| pts[i].distance(&pts[j]));
+        let emb: GnpEmbedding<3> = gnp_embed(&truth, &GnpConfig::default(), &mut rng);
+        assert_eq!(emb.landmarks.len(), 15);
+        assert_eq!(emb.coordinates.len(), 30);
+        // Landmarks are distinct.
+        let mut lm = emb.landmarks.clone();
+        lm.sort_unstable();
+        lm.dedup();
+        assert_eq!(lm.len(), 15);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let empty: GnpEmbedding<2> = gnp_embed(
+            &DelayMatrix::from_fn(0, |_, _| 0.0),
+            &GnpConfig::default(),
+            &mut rng,
+        );
+        assert!(empty.coordinates.is_empty());
+        let single: GnpEmbedding<2> = gnp_embed(
+            &DelayMatrix::from_fn(1, |_, _| 0.0),
+            &GnpConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(single.coordinates.len(), 1);
+    }
+
+    #[test]
+    fn higher_dimension_fits_no_worse() {
+        // A 5-D embedding of a 2-D metric has at least as much freedom.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pts = Disk::unit().sample_n(&mut rng, 25);
+        let truth = DelayMatrix::from_fn(25, |i, j| pts[i].distance(&pts[j]));
+        let cfg = GnpConfig {
+            landmarks: 10,
+            iterations: 500,
+            restarts: 3,
+        };
+        let e2: GnpEmbedding<2> = gnp_embed(&truth, &cfg, &mut SmallRng::seed_from_u64(9));
+        let e5: GnpEmbedding<5> = gnp_embed(&truth, &cfg, &mut SmallRng::seed_from_u64(9));
+        let s2 = stress(
+            &truth,
+            &DelayMatrix::from_fn(25, |i, j| e2.coordinates[i].distance(&e2.coordinates[j])),
+        );
+        let s5 = stress(
+            &truth,
+            &DelayMatrix::from_fn(25, |i, j| e5.coordinates[i].distance(&e5.coordinates[j])),
+        );
+        assert!(s5 < s2 + 0.05, "5-D stress {s5} vs 2-D {s2}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Transit-stub topologies (GT-ITM style): a hierarchical Internet model
+//! with a transit backbone and stub domains hanging off it. Compared to
+//! flat Waxman graphs, transit-stub underlays have stronger *triangle
+//! inequality violations between positions and delays* (stub-to-stub paths
+//! detour through the backbone), which is exactly the stress the embedding
+//! experiments need.
+
+use rand::{Rng, RngExt};
+
+use omt_geom::Point2;
+
+use crate::graph::{Graph, WaxmanConfig};
+
+/// Parameters of the transit-stub model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) routers.
+    pub transit_routers: usize,
+    /// Number of stub domains.
+    pub stub_domains: usize,
+    /// Routers per stub domain.
+    pub routers_per_stub: usize,
+    /// Side length of the whole square region.
+    pub side: f64,
+    /// Radius of each stub domain's cluster around its attachment point.
+    pub stub_radius: f64,
+    /// Delay per unit distance.
+    pub delay_per_unit: f64,
+    /// Fixed per-link delay.
+    pub base_delay: f64,
+    /// Waxman α within the transit core.
+    pub transit_alpha: f64,
+    /// Waxman α within each stub domain.
+    pub stub_alpha: f64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        Self {
+            transit_routers: 16,
+            stub_domains: 12,
+            routers_per_stub: 12,
+            side: 1000.0,
+            stub_radius: 40.0,
+            delay_per_unit: 0.005,
+            base_delay: 0.1,
+            transit_alpha: 0.6,
+            stub_alpha: 0.5,
+        }
+    }
+}
+
+/// A generated transit-stub topology: the graph plus the node-role index.
+#[derive(Clone, Debug)]
+pub struct TransitStub {
+    /// The underlay graph (transit routers first, then stub routers domain
+    /// by domain).
+    pub graph: Graph,
+    /// Number of transit routers (node ids `0..transit`).
+    pub transit: usize,
+    /// For each stub domain, the range of its node ids.
+    pub stub_ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl TransitStub {
+    /// All stub router ids (the natural host candidates).
+    pub fn stub_routers(&self) -> Vec<usize> {
+        self.stub_ranges.iter().flat_map(|r| r.clone()).collect()
+    }
+
+    /// The stub domain a node belongs to, or `None` for transit routers.
+    pub fn domain_of(&self, node: usize) -> Option<usize> {
+        self.stub_ranges.iter().position(|r| r.contains(&node))
+    }
+}
+
+impl TransitStubConfig {
+    /// Samples a connected transit-stub topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or a length parameter is non-positive.
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> TransitStub {
+        assert!(
+            self.transit_routers > 0 && self.stub_domains > 0 && self.routers_per_stub > 0,
+            "counts must be positive"
+        );
+        assert!(
+            self.side > 0.0 && self.stub_radius > 0.0 && self.delay_per_unit > 0.0,
+            "length parameters must be positive"
+        );
+        let total = self.transit_routers + self.stub_domains * self.routers_per_stub;
+        // Positions: transit routers spread over the whole region; each
+        // stub clusters around a point near a transit router.
+        let mut positions: Vec<Point2> = (0..self.transit_routers)
+            .map(|_| {
+                Point2::new([
+                    rng.random_range(0.0..self.side),
+                    rng.random_range(0.0..self.side),
+                ])
+            })
+            .collect();
+        let mut stub_ranges = Vec::with_capacity(self.stub_domains);
+        let mut attachment: Vec<usize> = Vec::with_capacity(self.stub_domains);
+        for _ in 0..self.stub_domains {
+            let anchor = rng.random_range(0..self.transit_routers);
+            attachment.push(anchor);
+            let center = positions[anchor]
+                + Point2::new([
+                    rng.random_range(-3.0 * self.stub_radius..3.0 * self.stub_radius),
+                    rng.random_range(-3.0 * self.stub_radius..3.0 * self.stub_radius),
+                ]);
+            let start = positions.len();
+            for _ in 0..self.routers_per_stub {
+                positions.push(
+                    center
+                        + Point2::new([
+                            rng.random_range(-self.stub_radius..self.stub_radius),
+                            rng.random_range(-self.stub_radius..self.stub_radius),
+                        ]),
+                );
+            }
+            stub_ranges.push(start..positions.len());
+        }
+        debug_assert_eq!(positions.len(), total);
+        let mut graph = Graph::new(positions);
+        let delay = |g: &Graph, u: usize, v: usize| {
+            self.base_delay + g.position(u).distance(&g.position(v)) * self.delay_per_unit
+        };
+        // Transit core: dense Waxman among transit routers + a ring for
+        // guaranteed connectivity.
+        let l = self.side * 2f64.sqrt();
+        for u in 0..self.transit_routers {
+            for v in (u + 1)..self.transit_routers {
+                let d = graph.position(u).distance(&graph.position(v));
+                let p = self.transit_alpha * (-d / (0.4 * l)).exp();
+                if rng.random::<f64>() < p {
+                    let w = delay(&graph, u, v);
+                    graph.add_edge(u, v, w);
+                }
+            }
+        }
+        for u in 0..self.transit_routers {
+            let v = (u + 1) % self.transit_routers;
+            if self.transit_routers > 1 && !graph.has_edge(u, v) {
+                let w = delay(&graph, u, v);
+                graph.add_edge(u, v, w);
+            }
+        }
+        // Stub domains: local Waxman + a spanning chain + one uplink to the
+        // anchor transit router.
+        for (dom, range) in stub_ranges.iter().enumerate() {
+            let nodes: Vec<usize> = range.clone().collect();
+            let ls = self.stub_radius * 2.0 * 2f64.sqrt();
+            for (i, &u) in nodes.iter().enumerate() {
+                for &v in &nodes[i + 1..] {
+                    let d = graph.position(u).distance(&graph.position(v));
+                    let p = self.stub_alpha * (-d / (0.6 * ls)).exp();
+                    if rng.random::<f64>() < p {
+                        let w = delay(&graph, u, v);
+                        graph.add_edge(u, v, w);
+                    }
+                }
+            }
+            for w in nodes.windows(2) {
+                if !graph.has_edge(w[0], w[1]) {
+                    let d = delay(&graph, w[0], w[1]);
+                    graph.add_edge(w[0], w[1], d);
+                }
+            }
+            // Uplink: stub gateway (first router) to the anchor.
+            let gateway = nodes[0];
+            let anchor = attachment[dom];
+            if !graph.has_edge(gateway, anchor) {
+                let d = delay(&graph, gateway, anchor);
+                graph.add_edge(gateway, anchor, d);
+            }
+        }
+        let ts = TransitStub {
+            graph,
+            transit: self.transit_routers,
+            stub_ranges,
+        };
+        debug_assert!(ts.graph.is_connected());
+        ts
+    }
+
+    /// A plain Waxman configuration with matching delay parameters, for
+    /// apples-to-apples comparisons.
+    pub fn matching_waxman(&self) -> WaxmanConfig {
+        WaxmanConfig {
+            routers: self.transit_routers + self.stub_domains * self.routers_per_stub,
+            side: self.side,
+            delay_per_unit: self.delay_per_unit,
+            base_delay: self.base_delay,
+            ..WaxmanConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_topology_is_connected_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = TransitStubConfig::default();
+        let ts = cfg.sample(&mut rng);
+        assert_eq!(
+            ts.graph.len(),
+            cfg.transit_routers + cfg.stub_domains * cfg.routers_per_stub
+        );
+        assert!(ts.graph.is_connected());
+        assert_eq!(ts.stub_ranges.len(), cfg.stub_domains);
+        assert_eq!(
+            ts.stub_routers().len(),
+            cfg.stub_domains * cfg.routers_per_stub
+        );
+    }
+
+    #[test]
+    fn domain_lookup() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ts = TransitStubConfig::default().sample(&mut rng);
+        for t in 0..ts.transit {
+            assert_eq!(ts.domain_of(t), None);
+        }
+        for (d, range) in ts.stub_ranges.iter().enumerate() {
+            for n in range.clone() {
+                assert_eq!(ts.domain_of(n), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_stub_delays_are_small_compared_to_cross_stub() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ts = TransitStubConfig::default().sample(&mut rng);
+        let hosts = ts.stub_routers();
+        let m = DelayMatrix::from_graph(&ts.graph, &hosts);
+        // Average intra-domain vs. cross-domain delay.
+        let mut intra = (0.0, 0usize);
+        let mut cross = (0.0, 0usize);
+        for i in 0..hosts.len() {
+            for j in (i + 1)..hosts.len() {
+                let same = ts.domain_of(hosts[i]) == ts.domain_of(hosts[j]);
+                let d = m.get(i, j);
+                if same {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let intra_avg = intra.0 / intra.1 as f64;
+        let cross_avg = cross.0 / cross.1 as f64;
+        assert!(
+            cross_avg > 3.0 * intra_avg,
+            "no hierarchy: intra {intra_avg} vs cross {cross_avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TransitStubConfig::default().sample(&mut SmallRng::seed_from_u64(7));
+        let b = TransitStubConfig::default().sample(&mut SmallRng::seed_from_u64(7));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn single_everything_edge_case() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let ts = TransitStubConfig {
+            transit_routers: 1,
+            stub_domains: 1,
+            routers_per_stub: 1,
+            ..TransitStubConfig::default()
+        }
+        .sample(&mut rng);
+        assert_eq!(ts.graph.len(), 2);
+        assert!(ts.graph.is_connected());
+    }
+
+    #[test]
+    fn matching_waxman_has_same_size() {
+        let cfg = TransitStubConfig::default();
+        let w = cfg.matching_waxman();
+        assert_eq!(
+            w.routers,
+            cfg.transit_routers + cfg.stub_domains * cfg.routers_per_stub
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Vivaldi-style decentralized spring embedding.
+//!
+//! Every host holds a tentative coordinate and repeatedly "samples" the
+//! measured delay to a random peer, moving along the error spring with an
+//! adaptive step. Unlike GNP this needs no landmarks and models what a
+//! deployed peer-to-peer overlay could actually run — included as the
+//! decentralized counterpart the paper's conclusion asks for ("in practice,
+//! there is interest in a decentralized version").
+
+use rand::{Rng, RngExt};
+
+use omt_geom::Point;
+
+use crate::delay::DelayMatrix;
+
+/// Configuration for the Vivaldi embedding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VivaldiConfig {
+    /// Total number of (host, peer) adjustment samples.
+    pub samples: usize,
+    /// Constant controlling the adaptive step (the Vivaldi paper's `c_c`).
+    pub cc: f64,
+    /// Constant controlling error averaging (the Vivaldi paper's `c_e`).
+    pub ce: f64,
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        Self {
+            samples: 60_000,
+            cc: 0.25,
+            ce: 0.25,
+        }
+    }
+}
+
+/// Embeds `n` hosts into `D` dimensions by simulating Vivaldi rounds over
+/// the delay matrix. Returns one coordinate per host.
+///
+/// # Panics
+///
+/// Panics if `config.samples == 0` with `n ≥ 2`.
+pub fn vivaldi_embed<const D: usize>(
+    delays: &DelayMatrix,
+    config: &VivaldiConfig,
+    rng: &mut (impl Rng + ?Sized),
+) -> Vec<Point<D>> {
+    let n = delays.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n == 1 {
+        return vec![Point::ORIGIN];
+    }
+    assert!(config.samples > 0, "need at least one sample");
+    let scale = delays.max().max(1e-9);
+    let mut coords: Vec<Point<D>> = (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for x in &mut c {
+                *x = rng.random_range(-0.5..0.5) * scale;
+            }
+            Point::new(c)
+        })
+        .collect();
+    // Per-host confidence-weighted error estimates, starting pessimistic.
+    let mut local_error = vec![1.0f64; n];
+    for _ in 0..config.samples {
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let measured = delays.get(i, j);
+        let diff = coords[i] - coords[j];
+        let est = diff.norm();
+        let sample_err = if measured > 0.0 {
+            (est - measured).abs() / measured
+        } else {
+            est
+        };
+        // Confidence weight: how much node i trusts itself vs the peer.
+        let w = local_error[i] / (local_error[i] + local_error[j]).max(1e-12);
+        local_error[i] = sample_err * config.ce * w + local_error[i] * (1.0 - config.ce * w);
+        let step = config.cc * w;
+        // Unit vector from j to i; random direction when coincident.
+        let dir = match diff.normalized() {
+            Some(u) => u,
+            None => {
+                let mut c = [0.0; D];
+                for x in &mut c {
+                    *x = rng.random_range(-1.0..1.0);
+                }
+                Point::new(c).normalized().unwrap_or_else(|| {
+                    let mut unit = [0.0; D];
+                    unit[0] = 1.0;
+                    Point::new(unit)
+                })
+            }
+        };
+        coords[i] = coords[i] + dir * (step * (measured - est));
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::stress;
+    use omt_geom::{Disk, Point2, Region};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embeds_euclidean_metric_reasonably() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts = Disk::unit().sample_n(&mut rng, 50);
+        let truth = DelayMatrix::from_fn(50, |i, j| pts[i].distance(&pts[j]));
+        let coords: Vec<Point2> = vivaldi_embed(&truth, &VivaldiConfig::default(), &mut rng);
+        let est = DelayMatrix::from_fn(50, |i, j| coords[i].distance(&coords[j]));
+        let s = stress(&truth, &est);
+        // Vivaldi is noisier than GNP; accept a loose but meaningful fit.
+        assert!(s < 0.25, "stress {s}");
+    }
+
+    #[test]
+    fn more_samples_do_not_hurt() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts = Disk::unit().sample_n(&mut rng, 30);
+        let truth = DelayMatrix::from_fn(30, |i, j| pts[i].distance(&pts[j]));
+        let short: Vec<Point2> = vivaldi_embed(
+            &truth,
+            &VivaldiConfig {
+                samples: 500,
+                ..VivaldiConfig::default()
+            },
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let long: Vec<Point2> = vivaldi_embed(
+            &truth,
+            &VivaldiConfig {
+                samples: 100_000,
+                ..VivaldiConfig::default()
+            },
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let s_short = stress(
+            &truth,
+            &DelayMatrix::from_fn(30, |i, j| short[i].distance(&short[j])),
+        );
+        let s_long = stress(
+            &truth,
+            &DelayMatrix::from_fn(30, |i, j| long[i].distance(&long[j])),
+        );
+        assert!(s_long < s_short, "{s_long} vs {s_short}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let empty: Vec<Point2> = vivaldi_embed(
+            &DelayMatrix::from_fn(0, |_, _| 0.0),
+            &VivaldiConfig::default(),
+            &mut rng,
+        );
+        assert!(empty.is_empty());
+        let single: Vec<Point2> = vivaldi_embed(
+            &DelayMatrix::from_fn(1, |_, _| 0.0),
+            &VivaldiConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(single.len(), 1);
+        // All-zero delays: coordinates collapse without NaNs.
+        let zeros: Vec<Point2> = vivaldi_embed(
+            &DelayMatrix::from_fn(5, |_, _| 0.0),
+            &VivaldiConfig {
+                samples: 2000,
+                ..VivaldiConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(zeros.iter().all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests of the network substrate.
+
+use omt_net::{median_relative_error, stress, DelayMatrix, WaxmanConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn waxman_graphs_are_connected_metrics(
+        routers in 1usize..80,
+        seed in 0u64..1000,
+        alpha in 0.02f64..0.5,
+        beta in 0.05f64..0.4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = WaxmanConfig {
+            routers,
+            alpha,
+            beta,
+            ..WaxmanConfig::default()
+        }
+        .sample(&mut rng);
+        prop_assert!(g.is_connected());
+        // Shortest-path delays form a metric on a host sample.
+        let hosts: Vec<usize> = (0..routers.min(12)).collect();
+        let m = DelayMatrix::from_graph(&g, &hosts);
+        for i in 0..hosts.len() {
+            prop_assert_eq!(m.get(i, i), 0.0);
+            for j in 0..hosts.len() {
+                prop_assert_eq!(m.get(i, j), m.get(j, i));
+                for k in 0..hosts.len() {
+                    prop_assert!(m.get(i, j) <= m.get(i, k) + m.get(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stress_is_zero_iff_identical_and_scale_covariant(
+        n in 2usize..12,
+        seed in 0u64..1000,
+        scale in 1.1f64..5.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let vals: Vec<f64> = (0..n * n).map(|_| rng.random_range(0.1..10.0)).collect();
+        let t = DelayMatrix::from_fn(n, |i, j| vals[i * n + j]);
+        prop_assert_eq!(stress(&t, &t), 0.0);
+        prop_assert_eq!(median_relative_error(&t, &t), 0.0);
+        let e = DelayMatrix::from_fn(n, |i, j| vals[i * n + j] * scale);
+        // Uniform scaling by s gives stress exactly (s - 1).
+        prop_assert!((stress(&t, &e) - (scale - 1.0)).abs() < 1e-9);
+        prop_assert!((median_relative_error(&t, &e) - (scale - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_matrix_stats(n in 2usize..15, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let vals: Vec<f64> = (0..n * n).map(|_| rng.random_range(0.0..10.0)).collect();
+        let m = DelayMatrix::from_fn(n, |i, j| vals[i * n + j]);
+        prop_assert!(m.mean() <= m.max() + 1e-12);
+        prop_assert!(m.mean() >= 0.0);
+    }
+}

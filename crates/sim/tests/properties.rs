@@ -1,0 +1,84 @@
+//! Property-based tests of the dissemination simulator.
+
+use omt_core::PolarGridBuilder;
+use omt_geom::Point2;
+use omt_sim::{simulate, simulate_with_failures, ChildOrder, SimConfig};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (-2.0f64..2.0, -2.0f64..2.0).prop_map(|(x, y)| Point2::new([x, y])),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn propagation_only_equals_tree_depths(points in arb_points()) {
+        let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
+        let rep = simulate(&tree, &SimConfig::propagation_only());
+        for i in 0..tree.len() {
+            prop_assert!((rep.arrival[i] - tree.depth(i)).abs() < 1e-9);
+        }
+        prop_assert!((rep.makespan - tree.radius()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_are_monotone(points in arb_points(), s in 0.0f64..0.1, p in 0.0f64..0.1) {
+        let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
+        let base = simulate(&tree, &SimConfig::propagation_only());
+        let loaded = simulate(
+            &tree,
+            &SimConfig {
+                serialization_delay: s,
+                processing_delay: p,
+                ..SimConfig::default()
+            },
+        );
+        // Every arrival can only get later when costs are added.
+        for (a, b) in loaded.arrival.iter().zip(&base.arrival) {
+            prop_assert!(*a >= *b - 1e-12);
+        }
+        prop_assert!(loaded.makespan >= base.makespan - 1e-12);
+        prop_assert!(loaded.mean_arrival >= base.mean_arrival - 1e-12);
+    }
+
+    #[test]
+    fn critical_first_never_loses_on_tiny_configs(points in arb_points(), s in 0.0f64..0.2) {
+        // Critical-first is the optimal two-child schedule; with fanout <= 2
+        // it must never lose to input order.
+        let tree = PolarGridBuilder::new()
+            .max_out_degree(2)
+            .build(Point2::ORIGIN, &points)
+            .unwrap();
+        let cfg = |order| SimConfig {
+            serialization_delay: s,
+            child_order: order,
+            ..SimConfig::default()
+        };
+        let critical = simulate(&tree, &cfg(ChildOrder::CriticalFirst)).makespan;
+        let input = simulate(&tree, &cfg(ChildOrder::InputOrder)).makespan;
+        prop_assert!(critical <= input + 1e-9, "{critical} vs {input}");
+    }
+
+    #[test]
+    fn failures_partition_receivers(points in arb_points(), selector in any::<u64>()) {
+        let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
+        let failed: Vec<usize> = (0..tree.len()).filter(|i| (selector >> (i % 64)) & 1 == 1).collect();
+        let rep = simulate_with_failures(&tree, &failed);
+        prop_assert_eq!(rep.reached + rep.stranded + rep.crashed, tree.len());
+        // Delivered nodes have fully delivered ancestor chains.
+        for i in 0..tree.len() {
+            if rep.delivered[i] {
+                for u in tree.path_to_source(i) {
+                    prop_assert!(rep.delivered[u], "delivered node {i} has undelivered ancestor {u}");
+                }
+            }
+        }
+        // No failures at all: everyone reached.
+        let clean = simulate_with_failures(&tree, &[]);
+        prop_assert_eq!(clean.reached, tree.len());
+    }
+}

@@ -1,0 +1,390 @@
+//! Incremental, degree-enforcing tree construction.
+
+use omt_geom::Point;
+
+use crate::error::TreeError;
+use crate::tree::{MulticastTree, SOURCE_PARENT};
+
+/// Builds a [`MulticastTree`] top-down, enforcing the out-degree budget and
+/// acyclicity at every step.
+///
+/// Attachment must be *top-down*: a node can only become a parent after it
+/// has itself been attached. This is how all the algorithms in this
+/// workspace naturally operate, and it makes cycles unrepresentable.
+///
+/// # Examples
+///
+/// ```
+/// use omt_geom::Point2;
+/// use omt_tree::TreeBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pts = vec![Point2::new([1.0, 0.0]), Point2::new([1.0, 1.0])];
+/// let mut b = TreeBuilder::new(Point2::ORIGIN, pts).max_out_degree(2);
+/// b.attach_to_source(0)?;
+/// b.attach(1, 0)?;
+/// let tree = b.finish()?;
+/// assert_eq!(tree.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreeBuilder<const D: usize> {
+    source: Point<D>,
+    points: Vec<Point<D>>,
+    parent: Vec<u32>,
+    depth: Vec<f64>,
+    hops: Vec<u32>,
+    attached: Vec<bool>,
+    out_degree: Vec<u32>,
+    source_out_degree: u32,
+    max_out_degree: Option<u32>,
+    attached_count: usize,
+}
+
+impl<const D: usize> TreeBuilder<D> {
+    /// Creates a builder for a tree over `points` rooted at `source`.
+    pub fn new(source: Point<D>, points: Vec<Point<D>>) -> Self {
+        let n = points.len();
+        Self {
+            source,
+            points,
+            parent: vec![SOURCE_PARENT; n],
+            depth: vec![0.0; n],
+            hops: vec![0; n],
+            attached: vec![false; n],
+            out_degree: vec![0; n],
+            source_out_degree: 0,
+            max_out_degree: None,
+            attached_count: 0,
+        }
+    }
+
+    /// Sets the maximum out-degree enforced on every node including the
+    /// source. Unset means unbounded.
+    #[must_use]
+    pub fn max_out_degree(mut self, bound: u32) -> Self {
+        self.max_out_degree = Some(bound);
+        self
+    }
+
+    /// Number of receiver nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if there are no receiver nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// How many nodes have been attached so far.
+    pub fn attached_count(&self) -> usize {
+        self.attached_count
+    }
+
+    /// Whether node `i` has been attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_attached(&self, i: usize) -> bool {
+        self.attached[i]
+    }
+
+    /// Position of receiver `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> Point<D> {
+        self.points[i]
+    }
+
+    /// The source position.
+    pub fn source(&self) -> Point<D> {
+        self.source
+    }
+
+    /// Current delay from the source to node `i`, if attached.
+    pub fn depth_of(&self, i: usize) -> Option<f64> {
+        self.attached
+            .get(i)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.depth[i])
+    }
+
+    /// Remaining out-degree budget of node `i` (`None` if unbounded).
+    pub fn remaining_degree(&self, i: usize) -> Option<u32> {
+        self.max_out_degree
+            .map(|b| b.saturating_sub(self.out_degree[i]))
+    }
+
+    /// Remaining out-degree budget of the source (`None` if unbounded).
+    pub fn remaining_source_degree(&self) -> Option<u32> {
+        self.max_out_degree
+            .map(|b| b.saturating_sub(self.source_out_degree))
+    }
+
+    fn check_index(&self, i: usize) -> Result<(), TreeError> {
+        if i >= self.points.len() {
+            Err(TreeError::NodeOutOfRange {
+                index: i,
+                len: self.points.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Attaches node `child` directly to the source.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the index is out of range, the child is already attached, or
+    /// the source's degree budget is exhausted.
+    pub fn attach_to_source(&mut self, child: usize) -> Result<(), TreeError> {
+        self.check_index(child)?;
+        if self.attached[child] {
+            return Err(TreeError::AlreadyAttached { index: child });
+        }
+        if let Some(bound) = self.max_out_degree {
+            if self.source_out_degree >= bound {
+                return Err(TreeError::DegreeExceeded {
+                    parent: None,
+                    max_out_degree: bound,
+                });
+            }
+        }
+        self.source_out_degree += 1;
+        self.parent[child] = SOURCE_PARENT;
+        self.depth[child] = self.source.distance(&self.points[child]);
+        self.hops[child] = 1;
+        self.attached[child] = true;
+        self.attached_count += 1;
+        Ok(())
+    }
+
+    /// Attaches node `child` under node `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either index is out of range, the child is already attached,
+    /// the parent is *not* attached yet (construction must be top-down),
+    /// `child == parent`, or the parent's degree budget is exhausted.
+    pub fn attach(&mut self, child: usize, parent: usize) -> Result<(), TreeError> {
+        self.check_index(child)?;
+        self.check_index(parent)?;
+        if child == parent {
+            return Err(TreeError::SelfLoop { index: child });
+        }
+        if self.attached[child] {
+            return Err(TreeError::AlreadyAttached { index: child });
+        }
+        if !self.attached[parent] {
+            return Err(TreeError::ParentNotAttached { parent });
+        }
+        if let Some(bound) = self.max_out_degree {
+            if self.out_degree[parent] >= bound {
+                return Err(TreeError::DegreeExceeded {
+                    parent: Some(parent),
+                    max_out_degree: bound,
+                });
+            }
+        }
+        self.out_degree[parent] += 1;
+        self.parent[child] = parent as u32;
+        self.depth[child] = self.depth[parent] + self.points[parent].distance(&self.points[child]);
+        self.hops[child] = self.hops[parent] + 1;
+        self.attached[child] = true;
+        self.attached_count += 1;
+        Ok(())
+    }
+
+    /// Finalizes the tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TreeError::NotSpanning`] if any node is unattached.
+    pub fn finish(self) -> Result<MulticastTree<D>, TreeError> {
+        let n = self.points.len();
+        if self.attached_count != n {
+            let first = self
+                .attached
+                .iter()
+                .position(|&a| !a)
+                .expect("some node is unattached");
+            return Err(TreeError::NotSpanning {
+                unattached: n - self.attached_count,
+                first,
+            });
+        }
+        // Build the CSR children adjacency with a counting pass. Slot 0 is
+        // the source, slot i+1 is node i.
+        let mut child_offsets = vec![0u32; n + 2];
+        child_offsets[1] = self.source_out_degree;
+        child_offsets[2..n + 2].copy_from_slice(&self.out_degree);
+        for i in 1..child_offsets.len() {
+            child_offsets[i] += child_offsets[i - 1];
+        }
+        // Start cursor of each slot = offset of its range start.
+        let mut cursor: Vec<u32> = child_offsets[..n + 1].to_vec();
+        let mut child_list = vec![0u32; n];
+        for child in 0..n {
+            let p = self.parent[child];
+            let slot = if p == SOURCE_PARENT {
+                0
+            } else {
+                p as usize + 1
+            };
+            child_list[cursor[slot] as usize] = child as u32;
+            cursor[slot] += 1;
+        }
+        Ok(MulticastTree {
+            source: self.source,
+            points: self.points,
+            parent: self.parent,
+            depth: self.depth,
+            hops: self.hops,
+            child_offsets,
+            child_list,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::Point2;
+
+    fn pts(n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new([i as f64 + 1.0, 0.0])).collect()
+    }
+
+    #[test]
+    fn top_down_enforced() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(3));
+        assert_eq!(
+            b.attach(1, 0),
+            Err(TreeError::ParentNotAttached { parent: 0 })
+        );
+        b.attach_to_source(0).unwrap();
+        b.attach(1, 0).unwrap();
+        assert_eq!(b.attached_count(), 2);
+    }
+
+    #[test]
+    fn degree_budget_enforced() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(4)).max_out_degree(1);
+        b.attach_to_source(0).unwrap();
+        assert_eq!(
+            b.attach_to_source(1),
+            Err(TreeError::DegreeExceeded {
+                parent: None,
+                max_out_degree: 1
+            })
+        );
+        b.attach(1, 0).unwrap();
+        assert_eq!(
+            b.attach(2, 0),
+            Err(TreeError::DegreeExceeded {
+                parent: Some(0),
+                max_out_degree: 1
+            })
+        );
+        b.attach(2, 1).unwrap();
+        b.attach(3, 2).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.max_out_degree(), 1);
+        t.validate(Some(1)).unwrap();
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(2));
+        b.attach_to_source(0).unwrap();
+        assert_eq!(
+            b.attach_to_source(0),
+            Err(TreeError::AlreadyAttached { index: 0 })
+        );
+        b.attach_to_source(1).unwrap();
+        assert_eq!(b.attach(1, 0), Err(TreeError::AlreadyAttached { index: 1 }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(1));
+        assert_eq!(b.attach(0, 0), Err(TreeError::SelfLoop { index: 0 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(1));
+        assert_eq!(
+            b.attach_to_source(5),
+            Err(TreeError::NodeOutOfRange { index: 5, len: 1 })
+        );
+        b.attach_to_source(0).unwrap();
+        assert_eq!(
+            b.attach(9, 0),
+            Err(TreeError::NodeOutOfRange { index: 9, len: 1 })
+        );
+    }
+
+    #[test]
+    fn unfinished_tree_rejected() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(2));
+        b.attach_to_source(1).unwrap();
+        assert_eq!(
+            b.finish(),
+            Err(TreeError::NotSpanning {
+                unattached: 1,
+                first: 0
+            })
+        );
+    }
+
+    #[test]
+    fn depths_accumulate() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(3));
+        b.attach_to_source(0).unwrap(); // at (1, 0), depth 1
+        b.attach(1, 0).unwrap(); // at (2, 0), depth 2
+        b.attach(2, 1).unwrap(); // at (3, 0), depth 3
+        assert_eq!(b.depth_of(2), Some(3.0));
+        assert_eq!(b.depth_of(1), Some(2.0));
+        let t = b.finish().unwrap();
+        assert_eq!(t.depth(2), 3.0);
+        assert_eq!(t.hops(2), 3);
+        t.validate(None).unwrap();
+    }
+
+    #[test]
+    fn remaining_budgets() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(2)).max_out_degree(2);
+        assert_eq!(b.remaining_source_degree(), Some(2));
+        b.attach_to_source(0).unwrap();
+        assert_eq!(b.remaining_source_degree(), Some(1));
+        assert_eq!(b.remaining_degree(0), Some(2));
+        b.attach(1, 0).unwrap();
+        assert_eq!(b.remaining_degree(0), Some(1));
+        let unbounded = TreeBuilder::new(Point2::ORIGIN, pts(1));
+        assert_eq!(unbounded.remaining_source_degree(), None);
+    }
+
+    #[test]
+    fn csr_layout_matches_parents() {
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts(5));
+        b.attach_to_source(2).unwrap();
+        b.attach_to_source(4).unwrap();
+        b.attach(0, 2).unwrap();
+        b.attach(1, 2).unwrap();
+        b.attach(3, 4).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.source_children(), &[2, 4]);
+        assert_eq!(t.children(2), &[0, 1]);
+        assert_eq!(t.children(4), &[3]);
+        assert_eq!(t.children(0), &[] as &[u32]);
+        t.validate(Some(2)).unwrap();
+    }
+}

@@ -1,0 +1,285 @@
+//! Plain-text tree exchange formats: GraphViz DOT for visualization and a
+//! line-oriented edge-list format with a parser, so trees can be stored
+//! and compared across runs without a serialization dependency.
+
+use std::fmt::Write as _;
+
+use omt_geom::Point;
+
+use crate::builder::TreeBuilder;
+use crate::error::TreeError;
+use crate::tree::{MulticastTree, ParentRef};
+
+impl<const D: usize> MulticastTree<D> {
+    /// Renders the tree as a GraphViz DOT digraph. The source is node
+    /// `"s"`; receivers are numbered. Edge labels carry delays.
+    ///
+    /// ```
+    /// use omt_geom::Point2;
+    /// use omt_tree::TreeBuilder;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = TreeBuilder::new(Point2::ORIGIN, vec![Point2::new([1.0, 0.0])]);
+    /// b.attach_to_source(0)?;
+    /// let dot = b.finish()?.to_dot();
+    /// assert!(dot.contains("s -> n0"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from(
+            "digraph multicast {\n  rankdir=TB;\n  s [shape=doublecircle,label=\"source\"];\n",
+        );
+        for i in 0..self.len() {
+            let _ = writeln!(out, "  n{i} [shape=circle,label=\"{i}\"];");
+        }
+        for i in 0..self.len() {
+            let from = match self.parent(i) {
+                ParentRef::Source => "s".to_string(),
+                ParentRef::Node(p) => format!("n{p}"),
+            };
+            let _ = writeln!(
+                out,
+                "  {from} -> n{i} [label=\"{:.3}\"];",
+                self.edge_weight(i)
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serializes the tree to the line-oriented edge-list format parsed by
+    /// [`MulticastTree::from_edge_list`]:
+    ///
+    /// ```text
+    /// source <coord> ... <coord>
+    /// node <index> <coord> ... <coord> parent (s | <index>)
+    /// ```
+    pub fn to_edge_list(&self) -> String {
+        let mut out = String::from("source");
+        for c in self.source().coords() {
+            let _ = write!(out, " {c}");
+        }
+        out.push('\n');
+        // Emit in BFS order so the format is parseable strictly top-down.
+        for i in self.iter_bfs() {
+            let _ = write!(out, "node {i}");
+            for c in self.point(i).coords() {
+                let _ = write!(out, " {c}");
+            }
+            match self.parent(i) {
+                ParentRef::Source => out.push_str(" parent s\n"),
+                ParentRef::Node(p) => {
+                    let _ = writeln!(out, " parent {p}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`MulticastTree::to_edge_list`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line, or a
+    /// [`TreeError`] rendered as text if the edges do not form a valid
+    /// tree.
+    pub fn from_edge_list(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty input")?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("source") {
+            return Err("first line must start with 'source'".into());
+        }
+        let coords: Vec<f64> = parts
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|e| format!("bad source coordinate {t:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if coords.len() != D {
+            return Err(format!(
+                "source has {} coordinates, expected {D}",
+                coords.len()
+            ));
+        }
+        let mut source_arr = [0.0; D];
+        source_arr.copy_from_slice(&coords);
+        let source = Point::new(source_arr);
+
+        struct Row<const D: usize> {
+            index: usize,
+            point: Point<D>,
+            parent: Option<usize>,
+        }
+        let mut rows: Vec<Row<D>> = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("node") {
+                return Err(format!("malformed line {line:?}"));
+            }
+            let index: usize = parts
+                .next()
+                .ok_or("missing node index")?
+                .parse()
+                .map_err(|e| format!("bad node index: {e}"))?;
+            let mut arr = [0.0; D];
+            for slot in &mut arr {
+                let t = parts.next().ok_or("missing coordinate")?;
+                *slot = t
+                    .parse()
+                    .map_err(|e| format!("bad coordinate {t:?}: {e}"))?;
+            }
+            if parts.next() != Some("parent") {
+                return Err(format!("missing 'parent' keyword in {line:?}"));
+            }
+            let parent_token = parts.next().ok_or("missing parent value")?;
+            let parent = if parent_token == "s" {
+                None
+            } else {
+                Some(
+                    parent_token
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad parent {parent_token:?}: {e}"))?,
+                )
+            };
+            rows.push(Row {
+                index,
+                point: Point::new(arr),
+                parent,
+            });
+        }
+        let n = rows.len();
+        let mut points = vec![Point::<D>::ORIGIN; n];
+        for r in &rows {
+            if r.index >= n {
+                return Err(format!("node index {} out of range for {n} nodes", r.index));
+            }
+            if let Some(p) = r.parent {
+                if p >= n {
+                    return Err(format!("parent index {p} out of range for {n} nodes"));
+                }
+            }
+            points[r.index] = r.point;
+        }
+        let mut builder = TreeBuilder::new(source, points);
+        // Rows are in BFS order (writer guarantees it), so a single pass
+        // attaches top-down; a second pass catches any stragglers from
+        // hand-edited files.
+        let mut pending: Vec<&Row<D>> = rows.iter().collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|r| {
+                let result = match r.parent {
+                    None => builder.attach_to_source(r.index),
+                    Some(p) if builder.is_attached(p) => builder.attach(r.index, p),
+                    Some(_) => return true, // parent not ready yet
+                };
+                match result {
+                    Ok(()) => false,
+                    Err(TreeError::AlreadyAttached { .. }) => false,
+                    Err(_) => true,
+                }
+            });
+            if pending.len() == before {
+                return Err("edges do not form a rooted tree (cycle or bad parent)".into());
+            }
+        }
+        builder.finish().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::Point2;
+
+    fn sample() -> MulticastTree<2> {
+        let pts = vec![
+            Point2::new([1.0, 0.0]),
+            Point2::new([0.0, 1.0]),
+            Point2::new([2.0, 0.0]),
+        ];
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts);
+        b.attach_to_source(0).unwrap();
+        b.attach_to_source(1).unwrap();
+        b.attach(2, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let dot = sample().to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("s -> n0"));
+        assert!(dot.contains("s -> n1"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("label=\"1.000\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn edge_list_round_trips() {
+        let tree = sample();
+        let text = tree.to_edge_list();
+        let back = MulticastTree::<2>::from_edge_list(&text).unwrap();
+        assert_eq!(tree, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_metrics_on_random_tree() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pts: Vec<Point2> = (0..150)
+            .map(|_| Point2::new([rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)]))
+            .collect();
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts).max_out_degree(3);
+        for i in 0..150 {
+            if i == 0 {
+                b.attach_to_source(0).unwrap();
+            } else {
+                // Attach under a random earlier node with spare budget.
+                let mut p = rng.random_range(0..i);
+                while b.remaining_degree(p) == Some(0) {
+                    p = rng.random_range(0..i);
+                }
+                b.attach(i, p).unwrap();
+            }
+        }
+        let tree = b.finish().unwrap();
+        let back = MulticastTree::<2>::from_edge_list(&tree.to_edge_list()).unwrap();
+        assert_eq!(tree.metrics(), back.metrics());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(MulticastTree::<2>::from_edge_list("").is_err());
+        assert!(MulticastTree::<2>::from_edge_list("bogus 1 2\n").is_err());
+        assert!(MulticastTree::<2>::from_edge_list("source 0").is_err()); // wrong dim
+        assert!(MulticastTree::<2>::from_edge_list("source 0 0\nnode 0 1 0 parent 5\n").is_err());
+        // A two-node cycle.
+        let cyclic = "source 0 0\nnode 0 1 0 parent 1\nnode 1 2 0 parent 0\n";
+        assert!(MulticastTree::<2>::from_edge_list(cyclic).is_err());
+    }
+
+    #[test]
+    fn parser_tolerates_shuffled_rows() {
+        // Hand-edited files may not be in BFS order; the fixpoint pass
+        // handles children listed before parents.
+        let text = "source 0 0\nnode 1 2 0 parent 0\nnode 0 1 0 parent s\n";
+        let tree = MulticastTree::<2>::from_edge_list(text).unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.depth(1), 2.0);
+    }
+
+    #[test]
+    fn empty_tree_round_trip() {
+        let tree = TreeBuilder::<2>::new(Point2::new([1.5, -2.0]), vec![])
+            .finish()
+            .unwrap();
+        let back = MulticastTree::<2>::from_edge_list(&tree.to_edge_list()).unwrap();
+        assert_eq!(tree, back);
+        assert_eq!(back.source(), Point2::new([1.5, -2.0]));
+    }
+}

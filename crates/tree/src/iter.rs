@@ -1,0 +1,158 @@
+//! Tree traversal iterators.
+
+use std::collections::VecDeque;
+
+use crate::tree::MulticastTree;
+
+/// Breadth-first traversal over receiver indices, starting from the
+/// source's children. Produced by
+/// [`MulticastTree::iter_bfs`](crate::MulticastTree::iter_bfs).
+#[derive(Clone, Debug)]
+pub struct Bfs<'a, const D: usize> {
+    tree: &'a MulticastTree<D>,
+    queue: VecDeque<u32>,
+}
+
+impl<'a, const D: usize> Bfs<'a, D> {
+    pub(crate) fn new(tree: &'a MulticastTree<D>) -> Self {
+        Self {
+            tree,
+            queue: tree.source_children().iter().copied().collect(),
+        }
+    }
+}
+
+impl<const D: usize> Iterator for Bfs<'_, D> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let u = self.queue.pop_front()?;
+        self.queue.extend(self.tree.children(u as usize));
+        Some(u as usize)
+    }
+}
+
+/// Depth-first (pre-order) traversal over receiver indices. Produced by
+/// [`MulticastTree::iter_dfs`](crate::MulticastTree::iter_dfs).
+#[derive(Clone, Debug)]
+pub struct Dfs<'a, const D: usize> {
+    tree: &'a MulticastTree<D>,
+    stack: Vec<u32>,
+}
+
+impl<'a, const D: usize> Dfs<'a, D> {
+    pub(crate) fn new(tree: &'a MulticastTree<D>) -> Self {
+        let mut stack: Vec<u32> = tree.source_children().to_vec();
+        stack.reverse();
+        Self { tree, stack }
+    }
+}
+
+impl<const D: usize> Iterator for Dfs<'_, D> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let u = self.stack.pop()?;
+        let children = self.tree.children(u as usize);
+        self.stack.extend(children.iter().rev());
+        Some(u as usize)
+    }
+}
+
+/// Walks from a node up to (but not including) the source. Produced by
+/// [`MulticastTree::path_to_source`](crate::MulticastTree::path_to_source).
+#[derive(Clone, Debug)]
+pub struct PathToSource<'a, const D: usize> {
+    tree: &'a MulticastTree<D>,
+    next: Option<usize>,
+}
+
+impl<'a, const D: usize> PathToSource<'a, D> {
+    pub(crate) fn new(tree: &'a MulticastTree<D>, start: usize) -> Self {
+        Self {
+            tree,
+            next: Some(start),
+        }
+    }
+}
+
+impl<const D: usize> Iterator for PathToSource<'_, D> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let u = self.next?;
+        self.next = match self.tree.parent(u) {
+            crate::ParentRef::Source => None,
+            crate::ParentRef::Node(p) => Some(p),
+        };
+        Some(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TreeBuilder;
+    use omt_geom::Point2;
+
+    /// Chain 0 -> 1 under the source plus a sibling 2:
+    ///
+    /// ```text
+    ///   source -> 0 -> 1
+    ///          -> 2
+    /// ```
+    fn tree() -> crate::MulticastTree<2> {
+        let pts = vec![
+            Point2::new([1.0, 0.0]),
+            Point2::new([2.0, 0.0]),
+            Point2::new([0.0, 1.0]),
+        ];
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts);
+        b.attach_to_source(0).unwrap();
+        b.attach_to_source(2).unwrap();
+        b.attach(1, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_level_by_level() {
+        let t = tree();
+        let order: Vec<usize> = t.iter_bfs().collect();
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn dfs_preorder() {
+        let t = tree();
+        let order: Vec<usize> = t.iter_dfs().collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn traversals_visit_every_node_once() {
+        let t = tree();
+        let mut bfs: Vec<usize> = t.iter_bfs().collect();
+        let mut dfs: Vec<usize> = t.iter_dfs().collect();
+        bfs.sort_unstable();
+        dfs.sort_unstable();
+        assert_eq!(bfs, vec![0, 1, 2]);
+        assert_eq!(dfs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn path_to_source() {
+        let t = tree();
+        let path: Vec<usize> = t.path_to_source(1).collect();
+        assert_eq!(path, vec![1, 0]);
+        let path: Vec<usize> = t.path_to_source(2).collect();
+        assert_eq!(path, vec![2]);
+    }
+
+    #[test]
+    fn empty_tree_traversals() {
+        let t = TreeBuilder::<2>::new(Point2::ORIGIN, vec![])
+            .finish()
+            .unwrap();
+        assert_eq!(t.iter_bfs().count(), 0);
+        assert_eq!(t.iter_dfs().count(), 0);
+    }
+}

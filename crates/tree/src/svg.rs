@@ -1,0 +1,198 @@
+//! SVG rendering of 2-D multicast trees — documentation and debugging aid.
+//!
+//! The renderer scales the tree's bounding box into the requested canvas,
+//! draws edges as lines (stroke opacity by hop count, so the core stands
+//! out), receivers as dots, and the source as a ring. Pure string
+//! generation, no dependencies.
+
+use std::fmt::Write as _;
+
+use crate::tree::MulticastTree;
+
+/// Options for [`MulticastTree::to_svg`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Radius of receiver dots in pixels.
+    pub node_radius: f64,
+    /// Whether deeper edges fade (visualizes the core vs. the fringe).
+    pub fade_by_depth: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 800,
+            height: 800,
+            node_radius: 1.5,
+            fade_by_depth: true,
+        }
+    }
+}
+
+impl MulticastTree<2> {
+    /// Renders the tree as an SVG document string.
+    ///
+    /// ```
+    /// use omt_geom::Point2;
+    /// use omt_tree::TreeBuilder;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = TreeBuilder::new(Point2::ORIGIN, vec![Point2::new([1.0, 0.0])]);
+    /// b.attach_to_source(0)?;
+    /// let svg = b.finish()?.to_svg(&Default::default());
+    /// assert!(svg.starts_with("<svg"));
+    /// assert!(svg.contains("<line"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_svg(&self, options: &SvgOptions) -> String {
+        let (w, h) = (f64::from(options.width), f64::from(options.height));
+        // Bounding box over receivers and the source, padded 5%.
+        let mut min = self.source().coords();
+        let mut max = self.source().coords();
+        for i in 0..self.len() {
+            let c = self.point(i).coords();
+            for a in 0..2 {
+                min[a] = min[a].min(c[a]);
+                max[a] = max[a].max(c[a]);
+            }
+        }
+        let span_x = (max[0] - min[0]).max(1e-12);
+        let span_y = (max[1] - min[1]).max(1e-12);
+        let pad = 0.05;
+        let sx = w * (1.0 - 2.0 * pad) / span_x;
+        let sy = h * (1.0 - 2.0 * pad) / span_y;
+        let scale = sx.min(sy);
+        let tx = |x: f64| (x - min[0]) * scale + w * pad;
+        // SVG y axis points down; flip.
+        let ty = |y: f64| h - ((y - min[1]) * scale + h * pad);
+
+        let max_hops = self.max_hops().max(1);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+            options.width, options.height, options.width, options.height
+        );
+        for i in 0..self.len() {
+            let p = self.point(i);
+            let q = self.parent_point(i);
+            let opacity = if options.fade_by_depth {
+                (1.0 - 0.7 * f64::from(self.hops(i) - 1) / f64::from(max_hops)).max(0.2)
+            } else {
+                0.8
+            };
+            let _ = writeln!(
+                out,
+                "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" \
+                 stroke=\"#2563eb\" stroke-width=\"0.8\" stroke-opacity=\"{opacity:.2}\"/>",
+                tx(q.x()),
+                ty(q.y()),
+                tx(p.x()),
+                ty(p.y()),
+            );
+        }
+        for i in 0..self.len() {
+            let p = self.point(i);
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{}\" fill=\"#111827\"/>",
+                tx(p.x()),
+                ty(p.y()),
+                options.node_radius
+            );
+        }
+        let s = self.source();
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{}\" fill=\"none\" \
+             stroke=\"#dc2626\" stroke-width=\"2\"/>",
+            tx(s.x()),
+            ty(s.y()),
+            options.node_radius * 4.0
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+    use omt_geom::Point2;
+
+    fn sample() -> MulticastTree<2> {
+        let pts = vec![
+            Point2::new([1.0, 0.0]),
+            Point2::new([2.0, 0.5]),
+            Point2::new([-1.0, -1.0]),
+        ];
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts);
+        b.attach_to_source(0).unwrap();
+        b.attach(1, 0).unwrap();
+        b.attach_to_source(2).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = sample().to_svg(&SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 3);
+        // 3 receiver dots + 1 source ring.
+        assert_eq!(svg.matches("<circle").count(), 4);
+    }
+
+    #[test]
+    fn coordinates_fit_canvas() {
+        let svg = sample().to_svg(&SvgOptions {
+            width: 100,
+            height: 100,
+            ..SvgOptions::default()
+        });
+        for token in svg.split_whitespace() {
+            for attr in ["x1=", "y1=", "x2=", "y2=", "cx=", "cy="] {
+                if let Some(v) = token.strip_prefix(attr) {
+                    let v: f64 = v
+                        .trim_matches(|c| c == '"' || c == '/' || c == '>')
+                        .parse()
+                        .unwrap();
+                    assert!((-1.0..=101.0).contains(&v), "{token} out of canvas");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_trees_render() {
+        let empty = TreeBuilder::<2>::new(Point2::ORIGIN, vec![])
+            .finish()
+            .unwrap();
+        let svg = empty.to_svg(&SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+        // All points identical: no NaNs from the degenerate bounding box.
+        let pts = vec![Point2::new([1.0, 1.0]); 3];
+        let mut b = TreeBuilder::new(Point2::new([1.0, 1.0]), pts);
+        for i in 0..3 {
+            b.attach_to_source(i).unwrap();
+        }
+        let svg = b.finish().unwrap().to_svg(&SvgOptions::default());
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn fade_can_be_disabled() {
+        let svg = sample().to_svg(&SvgOptions {
+            fade_by_depth: false,
+            ..SvgOptions::default()
+        });
+        assert!(svg.contains("stroke-opacity=\"0.80\""));
+    }
+}

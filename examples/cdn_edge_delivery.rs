@@ -1,0 +1,91 @@
+//! CDN edge-delivery scenario: the full pipeline the paper assumes.
+//!
+//! A content origin must push a stream to edge caches scattered across a
+//! synthetic Internet. Nobody knows Euclidean coordinates up front — only
+//! delays can be measured. The pipeline:
+//!
+//! 1. generate a Waxman underlay and measure host-to-host delays;
+//! 2. embed the hosts into 3-D Euclidean space with a GNP-style landmark
+//!    embedding (the paper's reference [12]);
+//! 3. build the degree-constrained minimal-delay tree on the coordinates;
+//! 4. evaluate the tree on the *true* delays — the experiment the paper
+//!    calls future work.
+//!
+//! ```text
+//! cargo run --release --example cdn_edge_delivery
+//! ```
+
+use overlay_multicast::algo::SphereGridBuilder;
+use overlay_multicast::geom::Point3;
+use overlay_multicast::net::{
+    distortion_report, gnp_embed, median_relative_error, stress, DelayMatrix, GnpConfig,
+    WaxmanConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(2004);
+
+    // A 400-router continental backbone; 150 of the routers host edge caches.
+    let underlay = WaxmanConfig {
+        routers: 400,
+        ..WaxmanConfig::default()
+    }
+    .sample(&mut rng);
+    println!(
+        "underlay: {} routers, {} links",
+        underlay.len(),
+        underlay.edge_count()
+    );
+    let hosts: Vec<usize> = (0..150).collect();
+    let delays = DelayMatrix::from_graph(&underlay, &hosts);
+    println!(
+        "measured delays: mean {:.2} ms, max {:.2} ms",
+        delays.mean(),
+        delays.max()
+    );
+
+    // GNP landmark embedding into 3-D (the GNP paper's recommendation).
+    let embedding = gnp_embed::<3>(&delays, &GnpConfig::default(), &mut rng);
+    let estimated = DelayMatrix::from_fn(delays.len(), |i, j| {
+        embedding.coordinates[i].distance(&embedding.coordinates[j])
+    });
+    println!(
+        "embedding: stress {:.3}, median relative error {:.3}",
+        stress(&delays, &estimated),
+        median_relative_error(&delays, &estimated)
+    );
+
+    // Host 0 is the origin; the rest receive. Edge caches forward to at
+    // most 6 peers.
+    let origin: Point3 = embedding.coordinates[0];
+    let receivers: Vec<usize> = (1..hosts.len()).collect();
+    let coords: Vec<Point3> = receivers
+        .iter()
+        .map(|&h| embedding.coordinates[h])
+        .collect();
+    let tree = SphereGridBuilder::new()
+        .max_out_degree(6)
+        .build(origin, &coords)?;
+    tree.validate(Some(6))?;
+
+    // What the algorithm believes vs. what the network delivers.
+    let report = distortion_report(&tree, &delays, 0, &receivers);
+    println!(
+        "tree: {} receivers, max out-degree {}",
+        tree.len(),
+        tree.max_out_degree()
+    );
+    println!("  radius in embedded space: {:.2}", report.embedded_radius);
+    println!("  radius on true delays:    {:.2} ms", report.true_radius);
+    println!(
+        "  true lower bound:         {:.2} ms",
+        report.true_lower_bound
+    );
+    println!(
+        "  deployment overhead:      {:.2}x the best possible",
+        report.true_ratio
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Convex regions and arbitrary source placement (Section IV-C of the
+//! paper): the algorithm is not tied to the centered unit disk.
+//!
+//! ```text
+//! cargo run --release --example convex_regions
+//! ```
+
+use overlay_multicast::algo::PolarGridBuilder;
+use overlay_multicast::geom::{Annulus, BoxRegion, ConvexPolygon, Disk, Point, Point2, Region};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let n = 20_000;
+    let scenarios: Vec<(&str, Box<dyn Region<2>>, Point2)> = vec![
+        (
+            "disk, centered source",
+            Box::new(Disk::unit()),
+            Point2::ORIGIN,
+        ),
+        (
+            "disk, offset source",
+            Box::new(Disk::unit()),
+            Point2::new([0.6, 0.0]),
+        ),
+        (
+            "square, corner source",
+            Box::new(BoxRegion::new(
+                Point::new([0.0, 0.0]),
+                Point::new([1.0, 1.0]),
+            )),
+            Point2::new([0.05, 0.05]),
+        ),
+        (
+            "hexagon, centered source",
+            Box::new(ConvexPolygon::regular(6, Point2::ORIGIN, 1.0)),
+            Point2::ORIGIN,
+        ),
+        (
+            "annulus (NON-convex control)",
+            Box::new(Annulus::new(Point2::ORIGIN, 0.8, 1.0)),
+            Point2::ORIGIN,
+        ),
+    ];
+    println!("{n} hosts per scenario, out-degree 6\n");
+    println!(
+        "{:<32} {:>6} {:>9} {:>9} {:>7}",
+        "scenario", "rings", "delay", "lower", "ratio"
+    );
+    for (name, region, source) in scenarios {
+        let hosts = region.sample_n(&mut rng, n);
+        let (tree, report) = PolarGridBuilder::new()
+            .max_out_degree(6)
+            .build_with_report(source, &hosts)?;
+        tree.validate(Some(6))?;
+        println!(
+            "{:<32} {:>6} {:>9.4} {:>9.4} {:>6.3}x",
+            name,
+            report.rings,
+            report.delay,
+            report.lower_bound,
+            report.delay / report.lower_bound
+        );
+    }
+    println!("\nConvex regions stay near-optimal (Theorem 2 generalized); the");
+    println!("annulus violates the hypothesis and pays a visibly larger ratio.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Live membership: hosts joining and leaving an active multicast session.
+//!
+//! Demonstrates the [`DynamicOverlay`] maintenance structure — the
+//! decentralized-version extension the paper's conclusion calls for — under
+//! heavy churn, comparing the maintained tree's worst delay against a fresh
+//! static rebuild of the same membership.
+//!
+//! ```text
+//! cargo run --release --example live_membership
+//! ```
+
+use overlay_multicast::algo::{DynamicOverlay, PolarGridBuilder};
+use overlay_multicast::geom::{Disk, Point2, Region};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let disk = Disk::unit();
+    let mut overlay = DynamicOverlay::new(Point2::ORIGIN, 6)?;
+    let mut live = Vec::new();
+
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>7}",
+        "event", "hosts", "maintained", "rebuilt", "ratio"
+    );
+    for step in 0..20_000 {
+        // 60/40 join/leave mix once the session has warmed up.
+        if live.len() < 200 || rng.random::<f64>() < 0.6 {
+            live.push(overlay.join(disk.sample(&mut rng)));
+        } else {
+            let i = rng.random_range(0..live.len());
+            overlay.leave(live.swap_remove(i))?;
+        }
+        if step % 2500 == 0 && overlay.len() > 10 {
+            let maintained = overlay.radius();
+            let snapshot = overlay.snapshot()?;
+            snapshot.validate(Some(6))?;
+            let rebuilt = PolarGridBuilder::new()
+                .build(Point2::ORIGIN, snapshot.points())?
+                .radius();
+            println!(
+                "{step:>8} {:>8} {maintained:>12.4} {rebuilt:>12.4} {:>6.2}x",
+                overlay.len(),
+                maintained / rebuilt
+            );
+        }
+    }
+    println!("\nThe maintained tree tracks the static optimum through churn;");
+    println!("amortized rebuilds keep the grid parameters matched to the membership.");
+    Ok(())
+}

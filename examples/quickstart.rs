@@ -1,0 +1,49 @@
+//! Quickstart: build a minimal-delay overlay multicast tree over 10,000
+//! hosts and inspect it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use overlay_multicast::algo::PolarGridBuilder;
+use overlay_multicast::geom::{Disk, Point2, Region};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 10,000 hosts mapped to points uniform in the unit disk; the source
+    // (the streaming origin, say) sits at the center.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let hosts = Disk::unit().sample_n(&mut rng, 10_000);
+    let source = Point2::ORIGIN;
+
+    // Every host can forward to at most 6 peers.
+    let (tree, report) = PolarGridBuilder::new()
+        .max_out_degree(6)
+        .build_with_report(source, &hosts)?;
+
+    // The tree is a valid spanning tree under the degree budget.
+    tree.validate(Some(6))?;
+
+    let metrics = tree.metrics();
+    println!("hosts:                {}", tree.len());
+    println!("grid rings (k):       {}", report.rings);
+    println!("max out-degree:       {}", metrics.max_out_degree);
+    println!("worst delay (radius): {:.4}", metrics.radius);
+    println!("  lower bound:        {:.4}", report.lower_bound);
+    println!("  analytic bound (7): {:.4}", report.bound);
+    println!("tree diameter:        {:.4}", metrics.diameter);
+    println!("mean delay:           {:.4}", metrics.mean_depth);
+    println!("max hops:             {}", metrics.max_hops);
+    println!("worst stretch:        {:.2}x", metrics.max_stretch);
+
+    // Walk the worst path for illustration.
+    let worst = tree.deepest_node().expect("nonempty");
+    let path: Vec<usize> = tree.path_to_source(worst).collect();
+    println!(
+        "worst path: {} hops from host {} back to the source",
+        path.len(),
+        worst
+    );
+    Ok(())
+}

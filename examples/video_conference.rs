@@ -1,0 +1,79 @@
+//! Video-conference scenario: tight fan-out budgets.
+//!
+//! Interactive video can rarely afford more than two simultaneous upstream
+//! copies per participant, so this example compares the paper's degree-2
+//! construction against the compact-tree heuristic and a random tree, and
+//! — for a small meeting — against the exact optimum.
+//!
+//! ```text
+//! cargo run --release --example video_conference
+//! ```
+
+use overlay_multicast::algo::PolarGridBuilder;
+use overlay_multicast::baselines::{
+    exact_tree, optimal_radius_lower_bound, random_tree, GreedyBuilder, GreedyObjective,
+};
+use overlay_multicast::geom::{Disk, Point2, Region};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(99);
+
+    // --- A small 8-person meeting: we can afford the exact optimum.
+    let small = Disk::unit().sample_n(&mut rng, 8);
+    let host = Point2::ORIGIN;
+    let opt = exact_tree(host, &small, 2)?;
+    let pg = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .build(host, &small)?;
+    let cpt = GreedyBuilder::new(GreedyObjective::MinDelay)
+        .max_out_degree(2)
+        .build(host, &small)?;
+    println!("8-person meeting (out-degree 2):");
+    println!("  exact optimum:  {:.4}", opt.radius());
+    println!(
+        "  polar grid:     {:.4} ({:.2}x)",
+        pg.radius(),
+        pg.radius() / opt.radius()
+    );
+    println!(
+        "  compact tree:   {:.4} ({:.2}x)",
+        cpt.radius(),
+        cpt.radius() / opt.radius()
+    );
+
+    // --- A 2,000-seat webinar: heuristics only.
+    let large = Disk::unit().sample_n(&mut rng, 2000);
+    let lb = optimal_radius_lower_bound(host, &large);
+    let pg = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .build(host, &large)?;
+    let cpt = GreedyBuilder::new(GreedyObjective::MinDelay)
+        .max_out_degree(2)
+        .build(host, &large)?;
+    let rnd = random_tree(host, &large, 2, &mut rng)?;
+    for t in [&pg, &cpt, &rnd] {
+        t.validate(Some(2))?;
+    }
+    println!("\n2,000-seat webinar (out-degree 2, lower bound {lb:.4}):");
+    println!(
+        "  polar grid:     radius {:.4} ({:.2}x), max hops {}",
+        pg.radius(),
+        pg.radius() / lb,
+        pg.max_hops()
+    );
+    println!(
+        "  compact tree:   radius {:.4} ({:.2}x), max hops {}",
+        cpt.radius(),
+        cpt.radius() / lb,
+        cpt.max_hops()
+    );
+    println!(
+        "  random tree:    radius {:.4} ({:.2}x), max hops {}",
+        rnd.radius(),
+        rnd.radius() / lb,
+        rnd.max_hops()
+    );
+    Ok(())
+}

@@ -1,0 +1,398 @@
+//! `omt` — command-line front end for the overlay-multicast library.
+//!
+//! ```text
+//! omt random  --n 2000 [--seed 7] [--ball]            > points.txt
+//! omt build   --points points.txt [--degree 6]
+//!             [--algorithm polar-grid|bisection|cpt]
+//!             [--source X,Y]                           > tree.txt
+//! omt stats   --tree tree.txt
+//! omt render  --tree tree.txt [--width 800]            > tree.svg
+//! omt dot     --tree tree.txt                          > tree.dot
+//! omt simulate --tree tree.txt [--serialization S] [--processing P]
+//! ```
+//!
+//! Points files are one `x y` pair per line; trees use the line-oriented
+//! edge-list format of `MulticastTree::to_edge_list` (round-trippable).
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use overlay_multicast::algo::{Bisection, PolarGridBuilder};
+use overlay_multicast::baselines::{GreedyBuilder, GreedyObjective};
+use overlay_multicast::geom::{Ball, Point2, Region};
+use overlay_multicast::sim::{simulate, SimConfig};
+use overlay_multicast::tree::{MulticastTree, SvgOptions};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            // Write through io::Write so a downstream `| head` (broken
+            // pipe) ends the program quietly instead of panicking.
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            match stdout.write_all(output.as_bytes()).and_then(|()| stdout.flush()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: cannot write output: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  omt random   --n N [--seed S] [--ball]
+  omt build    --points FILE [--degree D] [--algorithm polar-grid|bisection|cpt] [--source X,Y]
+  omt stats    --tree FILE
+  omt render   --tree FILE [--width W] [--height H]
+  omt dot      --tree FILE
+  omt simulate --tree FILE [--serialization S] [--processing P]";
+
+/// Executes a command line and returns what should be printed to stdout.
+fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("a command is required".into());
+    };
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "random" => cmd_random(&flags),
+        "build" => cmd_build(&flags),
+        "stats" => cmd_stats(&flags),
+        "render" => cmd_render(&flags),
+        "dot" => cmd_dot(&flags),
+        "simulate" => cmd_simulate(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Every flag any command understands; unknown flags are rejected rather
+/// than silently ignored (a typo'd `--degre 2` must not build at the
+/// default degree).
+const KNOWN_FLAGS: [&str; 12] = [
+    "n",
+    "seed",
+    "ball",
+    "points",
+    "degree",
+    "algorithm",
+    "source",
+    "tree",
+    "width",
+    "height",
+    "serialization",
+    "processing",
+];
+
+/// Parses `--flag value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {flag:?}"));
+        };
+        if !KNOWN_FLAGS.contains(&name) {
+            return Err(format!("unknown flag --{name}"));
+        }
+        // Boolean flags take no value.
+        if name == "ball" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} expects a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag --{name} is required"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse()
+        .map_err(|e| format!("bad {what} value {s:?}: {e}"))
+}
+
+fn cmd_random(flags: &HashMap<String, String>) -> Result<String, String> {
+    let n: usize = parse(get(flags, "n")?, "--n")?;
+    let seed: u64 = flags.get("seed").map_or(Ok(2004), |s| parse(s, "--seed"))?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = String::new();
+    if flags.contains_key("ball") {
+        for p in Ball::<3>::unit().sample_n(&mut rng, n) {
+            out.push_str(&format!("{} {} {}\n", p[0], p[1], p[2]));
+        }
+    } else {
+        for p in Ball::<2>::unit().sample_n(&mut rng, n) {
+            out.push_str(&format!("{} {}\n", p[0], p[1]));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a 2-D points file: one `x y` pair per line; `#` lines ignored.
+fn parse_points(text: &str) -> Result<Vec<Point2>, String> {
+    let mut points = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let x: f64 = parts
+            .next()
+            .ok_or_else(|| "missing x coordinate".to_string())
+            .and_then(|t| parse(t, "x coordinate"))
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let y: f64 = parts
+            .next()
+            .ok_or_else(|| "missing y coordinate".to_string())
+            .and_then(|t| parse(t, "y coordinate"))
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        points.push(Point2::new([x, y]));
+    }
+    Ok(points)
+}
+
+fn load_tree(flags: &HashMap<String, String>) -> Result<MulticastTree<2>, String> {
+    let path = get(flags, "tree")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    MulticastTree::<2>::from_edge_list(&text)
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> Result<String, String> {
+    let path = get(flags, "points")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let points = parse_points(&text)?;
+    let degree: u32 = flags
+        .get("degree")
+        .map_or(Ok(6), |s| parse(s, "--degree"))?;
+    let source = match flags.get("source") {
+        None => Point2::ORIGIN,
+        Some(s) => {
+            let (x, y) = s
+                .split_once(',')
+                .ok_or_else(|| format!("bad --source {s:?}: expected X,Y"))?;
+            Point2::new([
+                parse(x.trim(), "--source x")?,
+                parse(y.trim(), "--source y")?,
+            ])
+        }
+    };
+    let algorithm = flags.get("algorithm").map_or("polar-grid", String::as_str);
+    let tree = match algorithm {
+        "polar-grid" => PolarGridBuilder::new()
+            .max_out_degree(degree)
+            .build(source, &points)
+            .map_err(|e| e.to_string())?,
+        "bisection" => Bisection::new(degree)
+            .map_err(|e| e.to_string())?
+            .build(source, &points)
+            .map_err(|e| e.to_string())?,
+        "cpt" => GreedyBuilder::new(GreedyObjective::MinDelay)
+            .max_out_degree(degree)
+            .build(source, &points)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    eprintln!(
+        "built {} tree: {} nodes, radius {:.4}, max out-degree {}",
+        algorithm,
+        tree.len(),
+        tree.radius(),
+        tree.max_out_degree()
+    );
+    Ok(tree.to_edge_list())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<String, String> {
+    let tree = load_tree(flags)?;
+    let m = tree.metrics();
+    Ok(format!(
+        "nodes:            {}\nradius:           {:.6}\ndiameter:         {:.6}\n\
+         mean delay:       {:.6}\nmax hops:         {}\nmean hops:        {:.2}\n\
+         max out-degree:   {}\ntotal edge weight:{:.6}\nworst stretch:    {:.2}\n",
+        m.len,
+        m.radius,
+        m.diameter,
+        m.mean_depth,
+        m.max_hops,
+        m.mean_hops,
+        m.max_out_degree,
+        m.total_edge_weight,
+        m.max_stretch
+    ))
+}
+
+fn cmd_render(flags: &HashMap<String, String>) -> Result<String, String> {
+    let tree = load_tree(flags)?;
+    let width: u32 = flags
+        .get("width")
+        .map_or(Ok(800), |s| parse(s, "--width"))?;
+    let height: u32 = flags
+        .get("height")
+        .map_or(Ok(width), |s| parse(s, "--height"))?;
+    Ok(tree.to_svg(&SvgOptions {
+        width,
+        height,
+        ..SvgOptions::default()
+    }))
+}
+
+fn cmd_dot(flags: &HashMap<String, String>) -> Result<String, String> {
+    Ok(load_tree(flags)?.to_dot())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<String, String> {
+    let tree = load_tree(flags)?;
+    let serialization: f64 = flags
+        .get("serialization")
+        .map_or(Ok(0.0), |s| parse(s, "--serialization"))?;
+    let processing: f64 = flags
+        .get("processing")
+        .map_or(Ok(0.0), |s| parse(s, "--processing"))?;
+    let report = simulate(
+        &tree,
+        &SimConfig {
+            serialization_delay: serialization,
+            processing_delay: processing,
+            ..SimConfig::default()
+        },
+    );
+    Ok(format!(
+        "makespan:     {:.6}\nmean arrival: {:.6}\n(geometric radius: {:.6})\n",
+        report.makespan,
+        report.mean_arrival,
+        tree.radius()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn random_then_build_then_stats_pipeline() {
+        let dir = std::env::temp_dir().join(format!("omt_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let points = run_strs(&["random", "--n", "200", "--seed", "9"]).unwrap();
+        assert_eq!(points.lines().count(), 200);
+        let ppath = dir.join("p.txt");
+        std::fs::write(&ppath, &points).unwrap();
+        let tree = run_strs(&[
+            "build",
+            "--points",
+            ppath.to_str().unwrap(),
+            "--degree",
+            "4",
+        ])
+        .unwrap();
+        let tpath = dir.join("t.txt");
+        std::fs::write(&tpath, &tree).unwrap();
+        let stats = run_strs(&["stats", "--tree", tpath.to_str().unwrap()]).unwrap();
+        assert!(stats.contains("nodes:            200"));
+        let svg = run_strs(&["render", "--tree", tpath.to_str().unwrap()]).unwrap();
+        assert!(svg.starts_with("<svg"));
+        let dot = run_strs(&["dot", "--tree", tpath.to_str().unwrap()]).unwrap();
+        assert!(dot.starts_with("digraph"));
+        let sim = run_strs(&[
+            "simulate",
+            "--tree",
+            tpath.to_str().unwrap(),
+            "--serialization",
+            "0.01",
+        ])
+        .unwrap();
+        assert!(sim.contains("makespan"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_algorithm_builds() {
+        let dir = std::env::temp_dir().join(format!("omt_cli_alg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let points = run_strs(&["random", "--n", "50"]).unwrap();
+        let ppath = dir.join("p.txt");
+        std::fs::write(&ppath, &points).unwrap();
+        for alg in ["polar-grid", "bisection", "cpt"] {
+            let out = run_strs(&[
+                "build",
+                "--points",
+                ppath.to_str().unwrap(),
+                "--algorithm",
+                alg,
+            ])
+            .unwrap();
+            let tree = MulticastTree::<2>::from_edge_list(&out).unwrap();
+            assert_eq!(tree.len(), 50, "{alg}");
+            tree.validate(Some(6)).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_strs(&[]).is_err());
+        assert!(run_strs(&["frobnicate"]).is_err());
+        assert!(run_strs(&["random"]).is_err()); // missing --n
+        assert!(run_strs(&["build", "--points", "/no/such/file"]).is_err());
+        assert!(run_strs(&["random", "--n", "ten"]).is_err());
+        assert!(run_strs(&["build", "--points"]).is_err()); // missing value
+        // Typo'd flags are rejected, not silently ignored.
+        assert!(run_strs(&["random", "--n", "5", "--sed", "9"]).is_err());
+    }
+
+    #[test]
+    fn parse_points_handles_comments_and_blanks() {
+        let pts = parse_points("# comment\n1.0 2.0\n\n 3.5  -1.25 \n").unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1], Point2::new([3.5, -1.25]));
+        assert!(parse_points("1.0\n").is_err());
+        assert!(parse_points("a b\n").is_err());
+    }
+
+    #[test]
+    fn source_flag_and_ball_flag() {
+        let pts3d = run_strs(&["random", "--n", "10", "--ball"]).unwrap();
+        assert_eq!(pts3d.lines().next().unwrap().split_whitespace().count(), 3);
+        let dir = std::env::temp_dir().join(format!("omt_cli_src_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ppath = dir.join("p.txt");
+        std::fs::write(&ppath, "1.0 1.0\n2.0 2.0\n").unwrap();
+        let out = run_strs(&[
+            "build",
+            "--points",
+            ppath.to_str().unwrap(),
+            "--source",
+            "1.0,1.0",
+        ])
+        .unwrap();
+        let tree = MulticastTree::<2>::from_edge_list(&out).unwrap();
+        assert_eq!(tree.source(), Point2::new([1.0, 1.0]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,55 @@
+//! Degree-constrained minimal-delay overlay multicast trees.
+//!
+//! This is the umbrella crate of a full reproduction of *Overlay Multicast
+//! Trees of Minimal Delay* (Anton Riabov, Zhen Liu, Li Zhang — ICDCS 2004).
+//! It re-exports the workspace crates under stable module names:
+//!
+//! * [`geom`] — points, polar coordinates, grid cells, convex regions,
+//!   uniform samplers.
+//! * [`tree`] — the degree-constrained rooted multicast tree type with
+//!   validation, metrics and traversal.
+//! * [`algo`] — the paper's algorithms: the constant-factor **bisection**
+//!   algorithm and the asymptotically optimal **polar grid** algorithm, in
+//!   2-D, 3-D and general dimension, for out-degree budgets down to 2.
+//! * [`baselines`] — comparison heuristics (compact tree, greedy Prim,
+//!   bandwidth-latency, random, star) and an exact branch-and-bound solver
+//!   for small instances.
+//! * [`net`] — a synthetic network substrate: Waxman underlay topologies,
+//!   shortest-path delays, and GNP/Vivaldi-style Euclidean embeddings.
+//! * [`sim`] — a discrete-event dissemination simulator (serialization
+//!   delays, jitter, failure injection) that makes the bandwidth cost
+//!   behind the degree constraint observable.
+//! * [`experiments`] — the harness that regenerates Table I and
+//!   Figures 4–8 of the paper.
+//!
+//! # Quickstart
+//!
+//! Build a minimal-delay degree-6 tree over 5,000 hosts uniform in the unit
+//! disk, with the source at the center:
+//!
+//! ```
+//! use overlay_multicast::geom::{Disk, Point2, Region};
+//! use overlay_multicast::algo::PolarGridBuilder;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let hosts = Disk::unit().sample_n(&mut rng, 5000);
+//! let tree = PolarGridBuilder::new()
+//!     .max_out_degree(6)
+//!     .build(Point2::ORIGIN, &hosts)?;
+//! assert!(tree.max_out_degree() <= 6);
+//! // The longest source-to-receiver delay approaches the lower bound 1.
+//! assert!(tree.radius() < 1.35);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use omt_baselines as baselines;
+pub use omt_core as algo;
+pub use omt_experiments as experiments;
+pub use omt_geom as geom;
+pub use omt_net as net;
+pub use omt_sim as sim;
+pub use omt_tree as tree;

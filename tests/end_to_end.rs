@@ -1,0 +1,217 @@
+//! Cross-crate integration: the full pipelines a downstream user would run.
+
+use overlay_multicast::algo::{PolarGridBuilder, SphereGridBuilder};
+use overlay_multicast::baselines::{GreedyBuilder, GreedyObjective};
+use overlay_multicast::experiments::runner::{run_fig8_row, run_table1_row};
+use overlay_multicast::geom::{BoxRegion, Point, Point2, Point3, Region};
+use overlay_multicast::net::{
+    distortion_report, gnp_embed, stress, vivaldi_embed, DelayMatrix, GnpConfig, VivaldiConfig,
+    WaxmanConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Underlay → measurement → GNP embedding → tree → true-delay evaluation.
+#[test]
+fn measure_embed_build_evaluate() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let underlay = WaxmanConfig {
+        routers: 150,
+        ..WaxmanConfig::default()
+    }
+    .sample(&mut rng);
+    let hosts: Vec<usize> = (0..60).collect();
+    let delays = DelayMatrix::from_graph(&underlay, &hosts);
+
+    let emb = gnp_embed::<3>(&delays, &GnpConfig::default(), &mut rng);
+    let est = DelayMatrix::from_fn(delays.len(), |i, j| {
+        emb.coordinates[i].distance(&emb.coordinates[j])
+    });
+    let s = stress(&delays, &est);
+    assert!(s < 1.0, "embedding unusable: stress {s}");
+
+    let receivers: Vec<usize> = (1..hosts.len()).collect();
+    let coords: Vec<Point3> = receivers.iter().map(|&h| emb.coordinates[h]).collect();
+    let tree = SphereGridBuilder::new()
+        .max_out_degree(6)
+        .build(emb.coordinates[0], &coords)
+        .unwrap();
+    tree.validate(Some(6)).unwrap();
+
+    let report = distortion_report(&tree, &delays, 0, &receivers);
+    assert!(report.true_radius >= report.true_lower_bound);
+    // A sane deployment outcome: within an order of magnitude of optimal.
+    assert!(report.true_ratio < 10.0, "ratio {}", report.true_ratio);
+}
+
+/// Vivaldi variant of the same pipeline.
+#[test]
+fn vivaldi_pipeline() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let underlay = WaxmanConfig {
+        routers: 120,
+        ..WaxmanConfig::default()
+    }
+    .sample(&mut rng);
+    let hosts: Vec<usize> = (0..40).collect();
+    let delays = DelayMatrix::from_graph(&underlay, &hosts);
+    let coords: Vec<Point2> = vivaldi_embed(&delays, &VivaldiConfig::default(), &mut rng);
+    let receivers: Vec<usize> = (1..hosts.len()).collect();
+    let pts: Vec<Point2> = receivers.iter().map(|&h| coords[h]).collect();
+    let tree = PolarGridBuilder::new().build(coords[0], &pts).unwrap();
+    tree.validate(Some(6)).unwrap();
+    let report = distortion_report(&tree, &delays, 0, &receivers);
+    assert!(report.true_ratio >= 1.0 - 1e-9);
+}
+
+/// The experiment runner reproduces the paper's structural relations.
+#[test]
+fn experiment_runner_sanity() {
+    let row = run_table1_row(5, 1000, 8);
+    assert_eq!(row.n, 1000);
+    assert!(row.deg2.delay > row.deg6.delay);
+    assert!(row.deg6.delay < row.deg6.bound);
+    assert!(row.deg6.core < row.deg6.delay);
+    let f8 = run_fig8_row(5, 1000, 4);
+    assert!(f8.delay2 > f8.delay10);
+}
+
+/// Trees built by different algorithms over the same workload are directly
+/// comparable through the shared metrics API.
+#[test]
+fn cross_algorithm_comparison() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let region = BoxRegion::new(Point::new([-1.0, -1.0]), Point::new([1.0, 1.0]));
+    let pts = region.sample_n(&mut rng, 800);
+    let grid = PolarGridBuilder::new()
+        .max_out_degree(4)
+        .build(Point2::ORIGIN, &pts)
+        .unwrap();
+    let cpt = GreedyBuilder::new(GreedyObjective::MinDelay)
+        .max_out_degree(4)
+        .build(Point2::ORIGIN, &pts)
+        .unwrap();
+    let gm = grid.metrics();
+    let cm = cpt.metrics();
+    assert_eq!(gm.len, cm.len);
+    assert!(gm.max_out_degree <= 4 && cm.max_out_degree <= 4);
+    // Different constructions, same contract.
+    assert!(gm.radius > 0.0 && cm.radius > 0.0);
+    assert!(gm.total_edge_weight > 0.0);
+}
+
+/// Degenerate inputs flow through every layer without panics.
+#[test]
+fn degenerate_end_to_end() {
+    // Empty multicast group.
+    let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &[]).unwrap();
+    assert!(tree.is_empty());
+    assert_eq!(tree.metrics().len, 0);
+    // Single receiver.
+    let tree = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .build(Point2::ORIGIN, &[Point2::new([0.3, 0.4])])
+        .unwrap();
+    assert!((tree.radius() - 0.5).abs() < 1e-12);
+    // Everyone at one location.
+    let pts = vec![Point2::new([5.0, 5.0]); 64];
+    let tree = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .build(Point2::new([5.0, 5.0]), &pts)
+        .unwrap();
+    assert_eq!(tree.radius(), 0.0);
+    tree.validate(Some(2)).unwrap();
+}
+
+/// The re-exported facade exposes every subsystem.
+#[test]
+fn facade_reexports() {
+    use overlay_multicast::{algo, baselines, experiments, geom, net, tree};
+    let _ = algo::PolarGridBuilder::new();
+    let _ = baselines::GreedyBuilder::new(baselines::GreedyObjective::MinDelay);
+    let _ = geom::Disk::unit();
+    let _ = net::GnpConfig::default();
+    let _: tree::TreeBuilder<2> = tree::TreeBuilder::new(geom::Point2::ORIGIN, vec![]);
+    let _ = experiments::workload::PAPER_SIZES;
+}
+
+/// Extension modules compose: heterogeneous build → dissemination sim →
+/// failure analysis, and min-diameter → streaming bound.
+#[test]
+fn extensions_compose() {
+    use overlay_multicast::algo::{HeteroGridBuilder, MinDiameterBuilder};
+    use overlay_multicast::geom::Disk;
+    use overlay_multicast::sim::{simulate, simulate_with_failures, stream_completion, SimConfig};
+    let mut rng = SmallRng::seed_from_u64(6);
+    let pts = Disk::unit().sample_n(&mut rng, 600);
+    let caps: Vec<u32> = (0..600).map(|i| [6u32, 2, 1, 0][i % 4]).collect();
+    let (tree, report) = HeteroGridBuilder::new()
+        .source_capacity(6)
+        .build(Point2::ORIGIN, &pts, &caps)
+        .unwrap();
+    assert!(report.delay >= report.lower_bound);
+    // Delivery simulation respects the tree's geometry.
+    let delivery = simulate(&tree, &SimConfig::propagation_only());
+    assert!((delivery.makespan - tree.radius()).abs() < 1e-9);
+    // Streaming bound is consistent.
+    let stream = stream_completion(
+        &tree,
+        &SimConfig {
+            serialization_delay: 0.01,
+            ..SimConfig::default()
+        },
+        100,
+    );
+    assert!(stream.completion > delivery.makespan);
+    // Crash a tenth of the fleet.
+    let failed: Vec<usize> = (0..600).step_by(10).collect();
+    let f = simulate_with_failures(&tree, &failed);
+    assert_eq!(f.reached + f.stranded + f.crashed, 600);
+
+    // Min-diameter end-to-end.
+    let (md_tree, md_report) = MinDiameterBuilder::new().build_2d(&pts).unwrap();
+    assert!(md_report.diameter <= 2.0 * md_report.radius + 1e-9);
+    md_tree.validate(Some(6)).unwrap();
+}
+
+/// The dynamic overlay's snapshots interoperate with the exporters and
+/// the simulator.
+#[test]
+fn dynamic_overlay_interops() {
+    use overlay_multicast::algo::DynamicOverlay;
+    use overlay_multicast::geom::Disk;
+    use overlay_multicast::sim::{simulate, SimConfig};
+    use overlay_multicast::tree::MulticastTree;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut overlay = DynamicOverlay::new(Point2::ORIGIN, 6).unwrap();
+    let ids: Vec<_> = Disk::unit()
+        .sample_n(&mut rng, 300)
+        .into_iter()
+        .map(|p| overlay.join(p))
+        .collect();
+    for id in ids.iter().step_by(5) {
+        overlay.leave(*id).unwrap();
+    }
+    let snapshot = overlay.snapshot().unwrap();
+    snapshot.validate(Some(6)).unwrap();
+    // Round-trip through the text format.
+    let text = snapshot.to_edge_list();
+    let back = MulticastTree::<2>::from_edge_list(&text).unwrap();
+    assert_eq!(snapshot, back);
+    // And simulate delivery over it.
+    let rep = simulate(&back, &SimConfig::propagation_only());
+    assert!((rep.makespan - back.radius()).abs() < 1e-9);
+}
+
+/// The 3-D standalone bisection slots into the same workflows.
+#[test]
+fn bisection3_end_to_end() {
+    use overlay_multicast::algo::Bisection3;
+    use overlay_multicast::geom::Ball;
+    let mut rng = SmallRng::seed_from_u64(8);
+    let pts = Ball::<3>::unit().sample_n(&mut rng, 300);
+    let tree = Bisection3::new(8).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+    tree.validate(Some(8)).unwrap();
+    let m = tree.metrics();
+    assert!(m.radius >= pts.iter().map(|p| p.norm()).fold(0.0, f64::max) - 1e-9);
+}

@@ -1,0 +1,172 @@
+//! Property-based invariants: every tree builder in the workspace must
+//! produce a valid spanning tree under its degree budget on *arbitrary*
+//! inputs, not just uniform disks.
+
+use overlay_multicast::algo::{Bisection, NdGridBuilder, PolarGridBuilder, SphereGridBuilder};
+use overlay_multicast::baselines::{
+    random_tree, star_tree, BandwidthLatency, GreedyBuilder, GreedyObjective,
+};
+use overlay_multicast::geom::{Point2, Point3};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Arbitrary finite 2-D points within a modest range (the algorithms are
+/// scale-invariant; the range just keeps arithmetic well-conditioned).
+fn arb_points2(max_len: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..max_len)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new([x, y])).collect())
+}
+
+fn arb_points3(max_len: usize) -> impl Strategy<Value = Vec<Point3>> {
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 0..max_len).prop_map(
+        |v| {
+            v.into_iter()
+                .map(|(x, y, z)| Point3::new([x, y, z]))
+                .collect()
+        },
+    )
+}
+
+fn arb_source2() -> impl Strategy<Value = Point2> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point2::new([x, y]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn polar_grid_deg6_always_valid(points in arb_points2(200), source in arb_source2()) {
+        let tree = PolarGridBuilder::new().build(source, &points).unwrap();
+        prop_assert_eq!(tree.len(), points.len());
+        tree.validate(Some(6)).unwrap();
+    }
+
+    #[test]
+    fn polar_grid_deg2_always_valid(points in arb_points2(200), source in arb_source2()) {
+        let tree = PolarGridBuilder::new()
+            .max_out_degree(2)
+            .build(source, &points)
+            .unwrap();
+        tree.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn polar_grid_respects_analytic_bound(points in arb_points2(300)) {
+        // Equation (7) holds for every input, not just uniform ones.
+        let (tree, report) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &points)
+            .unwrap();
+        prop_assert!(tree.radius() <= report.bound + 1e-9);
+        prop_assert!(tree.radius() >= report.lower_bound - 1e-9);
+    }
+
+    #[test]
+    fn bisection_deg4_always_valid(points in arb_points2(200), source in arb_source2()) {
+        let tree = Bisection::new(4).unwrap().build(source, &points).unwrap();
+        tree.validate(Some(4)).unwrap();
+    }
+
+    #[test]
+    fn bisection_deg2_always_valid(points in arb_points2(200), source in arb_source2()) {
+        let tree = Bisection::new(2).unwrap().build(source, &points).unwrap();
+        tree.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn sphere_grid_always_valid(points in arb_points3(200)) {
+        let tree = SphereGridBuilder::new().build(Point3::ORIGIN, &points).unwrap();
+        tree.validate(Some(10)).unwrap();
+        let tree2 = SphereGridBuilder::new()
+            .max_out_degree(2)
+            .build(Point3::ORIGIN, &points)
+            .unwrap();
+        tree2.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn nd_grid_always_valid(points in arb_points3(150)) {
+        // Exercise the general-dimension path with D = 3.
+        let tree = NdGridBuilder::new().build(Point3::ORIGIN, &points).unwrap();
+        tree.validate(Some(2)).unwrap();
+    }
+
+    #[test]
+    fn baselines_always_valid(points in arb_points2(120), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for deg in [1u32, 2, 6] {
+            GreedyBuilder::new(GreedyObjective::MinDelay)
+                .max_out_degree(deg)
+                .build(Point2::ORIGIN, &points)
+                .unwrap()
+                .validate(Some(deg))
+                .unwrap();
+            GreedyBuilder::new(GreedyObjective::MinEdge)
+                .max_out_degree(deg)
+                .build(Point2::ORIGIN, &points)
+                .unwrap()
+                .validate(Some(deg))
+                .unwrap();
+            random_tree(Point2::ORIGIN, &points, deg, &mut rng)
+                .unwrap()
+                .validate(Some(deg))
+                .unwrap();
+            BandwidthLatency::uniform(deg)
+                .build(Point2::ORIGIN, &points)
+                .unwrap()
+                .validate(Some(deg))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn star_radius_lower_bounds_every_builder(points in arb_points2(100)) {
+        let lb = star_tree(Point2::ORIGIN, &points).unwrap().radius();
+        for radius in [
+            PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap().radius(),
+            Bisection::new(4).unwrap().build(Point2::ORIGIN, &points).unwrap().radius(),
+            GreedyBuilder::new(GreedyObjective::MinDelay)
+                .max_out_degree(3)
+                .build(Point2::ORIGIN, &points)
+                .unwrap()
+                .radius(),
+        ] {
+            prop_assert!(radius >= lb - 1e-9, "radius {radius} below star bound {lb}");
+        }
+    }
+
+    #[test]
+    fn tree_depth_cache_matches_path_recomputation(points in arb_points2(80)) {
+        let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
+        for i in 0..tree.len() {
+            // Recompute the delay by walking the path explicitly.
+            let mut delay = 0.0;
+            let mut prev = tree.point(i);
+            for u in tree.path_to_source(i).skip(1) {
+                delay += prev.distance(&tree.point(u));
+                prev = tree.point(u);
+            }
+            delay += prev.distance(&tree.source());
+            prop_assert!((delay - tree.depth(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn traversals_cover_every_node(points in arb_points2(150)) {
+        let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
+        let mut bfs: Vec<usize> = tree.iter_bfs().collect();
+        let mut dfs: Vec<usize> = tree.iter_dfs().collect();
+        bfs.sort_unstable();
+        dfs.sort_unstable();
+        let expect: Vec<usize> = (0..tree.len()).collect();
+        prop_assert_eq!(bfs, expect.clone());
+        prop_assert_eq!(dfs, expect);
+    }
+
+    #[test]
+    fn diameter_at_least_radius(points in arb_points2(100)) {
+        let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
+        prop_assert!(tree.diameter() >= tree.radius() - 1e-12);
+        prop_assert!(tree.diameter() <= 2.0 * tree.radius() + 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Theorem-level claims of the paper, checked end-to-end across crates.
+
+use overlay_multicast::algo::{bounds, Bisection, PolarGridBuilder, SphereGridBuilder};
+use overlay_multicast::baselines::{exact_tree, optimal_radius_lower_bound};
+use overlay_multicast::geom::{Ball, Disk, Point2, Point3, Region};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Disk::unit().sample_n(&mut rng, n)
+}
+
+/// Theorem 1: the bisection algorithm is a 5-approximation at out-degree 4
+/// and a 9-approximation at out-degree 2 — certified against the exact
+/// optimum on small instances and against the universal lower bound on
+/// larger ones.
+#[test]
+fn theorem1_constant_factors() {
+    for seed in 0..12u64 {
+        let pts = disk_points(7, seed);
+        let opt4 = exact_tree(Point2::ORIGIN, &pts, 4).unwrap().radius();
+        let b4 = Bisection::new(4)
+            .unwrap()
+            .build(Point2::ORIGIN, &pts)
+            .unwrap()
+            .radius();
+        assert!(b4 <= 5.0 * opt4 + 1e-9, "seed {seed}: {b4} > 5 x {opt4}");
+        let opt2 = exact_tree(Point2::ORIGIN, &pts, 2).unwrap().radius();
+        let b2 = Bisection::new(2)
+            .unwrap()
+            .build(Point2::ORIGIN, &pts)
+            .unwrap()
+            .radius();
+        assert!(b2 <= 9.0 * opt2 + 1e-9, "seed {seed}: {b2} > 9 x {opt2}");
+    }
+    for seed in 0..4u64 {
+        let pts = disk_points(2000, 100 + seed);
+        let lb = optimal_radius_lower_bound(Point2::ORIGIN, &pts);
+        let b4 = Bisection::new(4)
+            .unwrap()
+            .build(Point2::ORIGIN, &pts)
+            .unwrap()
+            .radius();
+        assert!(b4 <= 5.0 * lb + 1e-9);
+    }
+}
+
+/// Theorem 2: the polar-grid tree's delay approaches the optimum as n
+/// grows, in 2-D at both degree settings.
+#[test]
+fn theorem2_asymptotic_optimality_2d() {
+    for deg in [2u32, 6] {
+        let mut ratios = Vec::new();
+        for (n, seed) in [(100usize, 1u64), (1_000, 2), (10_000, 3), (100_000, 4)] {
+            let pts = disk_points(n, seed);
+            let (_, report) = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .build_with_report(Point2::ORIGIN, &pts)
+                .unwrap();
+            ratios.push(report.delay / report.lower_bound);
+        }
+        // Strictly improving and close to 1 by 100k (paper: 1.034 / 1.067).
+        for w in ratios.windows(2) {
+            assert!(w[1] < w[0], "deg {deg}: ratios {ratios:?}");
+        }
+        let last = *ratios.last().unwrap();
+        assert!(last < 1.1, "deg {deg}: final ratio {last}");
+    }
+}
+
+/// The Figure-8 claim: the 3-D algorithm also converges, more slowly, and
+/// degree 2 trails degree 10 at equal n.
+#[test]
+fn figure8_three_dimensional_convergence() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut prev10 = f64::INFINITY;
+    for n in [500usize, 5_000, 50_000] {
+        let pts = Ball::<3>::unit().sample_n(&mut rng, n);
+        let (_, r10) = SphereGridBuilder::new()
+            .build_with_report(Point3::ORIGIN, &pts)
+            .unwrap();
+        let (_, r2) = SphereGridBuilder::new()
+            .max_out_degree(2)
+            .build_with_report(Point3::ORIGIN, &pts)
+            .unwrap();
+        assert!(r2.delay > r10.delay, "n={n}");
+        assert!(r10.delay < prev10, "n={n}: no convergence");
+        prev10 = r10.delay;
+    }
+}
+
+/// Equation (5): the automatically selected ring count grows like
+/// ½·log2(n), and equation (7)'s bound therefore shrinks toward the disk
+/// radius.
+#[test]
+fn ring_growth_and_bound_decay() {
+    let mut prev_bound = f64::INFINITY;
+    for (n, seed) in [(100usize, 5u64), (1_000, 6), (10_000, 7), (100_000, 8)] {
+        let pts = disk_points(n, seed);
+        let (_, report) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        assert!(report.rings >= bounds::min_rings_estimate(n as u64));
+        assert!(report.bound < prev_bound);
+        prev_bound = report.bound;
+        // The reported bound is consistent with the closed form.
+        let closed = bounds::upper_bound_eq7(report.rings, 6, report.lower_bound * (1.0 + 1e-9));
+        assert!((report.bound - closed).abs() < 1e-9);
+    }
+}
+
+/// The near-linear running-time claim (Figure 7): time per node stays
+/// within a small factor across a 100x size range.
+#[test]
+fn near_linear_running_time() {
+    use std::time::Instant;
+    let mut per_node = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let pts = disk_points(n, n as u64);
+        // Warm-up allocation effects aside, one timed run suffices for a
+        // factor-level claim.
+        let t0 = Instant::now();
+        let _ = PolarGridBuilder::new().build(Point2::ORIGIN, &pts).unwrap();
+        per_node.push(t0.elapsed().as_secs_f64() / n as f64);
+    }
+    let worst = per_node.iter().copied().fold(0.0f64, f64::max);
+    let best = per_node.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        worst / best < 12.0,
+        "per-node time varies too much: {per_node:?}"
+    );
+}
+
+/// Lemma 1/2 empirically: throwing n balls into ~sqrt(n) buckets rarely
+/// leaves a bucket empty, and the analytic bound really bounds the
+/// frequency.
+#[test]
+fn occupancy_lemma_empirical() {
+    use rand::RngExt;
+    let mut rng = SmallRng::seed_from_u64(77);
+    let n = 4096u64;
+    let buckets = 64u64; // n^(1/2)
+    let trials = 400;
+    let mut empties = 0;
+    for _ in 0..trials {
+        let mut seen = vec![false; buckets as usize];
+        for _ in 0..n {
+            seen[rng.random_range(0..buckets) as usize] = true;
+        }
+        if seen.iter().any(|s| !s) {
+            empties += 1;
+        }
+    }
+    let freq = empties as f64 / trials as f64;
+    let bound = bounds::empty_bucket_probability_bound(n, 0.5);
+    assert!(
+        freq <= bound + 0.02,
+        "empirical {freq} exceeds Lemma-1 bound {bound}"
+    );
+}
+
+/// Cross-check one Table-I cell end to end with decent precision: the
+/// degree-6 delay at n = 10,000 is 1.102 in the paper.
+#[test]
+fn table1_cell_n10000() {
+    let mut acc = 0.0;
+    let trials = 15;
+    for seed in 0..trials {
+        let pts = disk_points(10_000, 1000 + seed);
+        let (_, r) = PolarGridBuilder::new()
+            .build_with_report(Point2::ORIGIN, &pts)
+            .unwrap();
+        acc += r.delay;
+    }
+    let mean = acc / trials as f64;
+    assert!(
+        (mean - 1.102).abs() < 0.03,
+        "mean delay {mean} vs paper 1.102"
+    );
+}
