@@ -165,8 +165,8 @@ impl BandwidthLatency {
 mod tests {
     use super::*;
     use omt_geom::{Disk, Point2, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -208,8 +208,8 @@ fn radius_of(n: usize, parent: &[usize], dist: &impl Fn(usize, usize) -> f64) ->
 mod tests {
     use super::*;
     use omt_geom::{Disk, Point2, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn trivial_instances() {

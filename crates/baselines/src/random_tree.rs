@@ -1,7 +1,7 @@
 //! A uniformly random feasible tree — the "no intelligence" reference that
 //! upper-bounds what any reasonable heuristic should produce.
 
-use rand::{Rng, RngExt};
+use omt_rng::{Rng, RngExt};
 
 use omt_geom::Point;
 use omt_tree::{MulticastTree, TreeBuilder};
@@ -24,8 +24,8 @@ use crate::greedy::check_finite;
 /// ```
 /// use omt_baselines::random_tree;
 /// use omt_geom::Point2;
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = SmallRng::seed_from_u64(4);
@@ -81,8 +81,8 @@ pub fn random_tree<const D: usize>(
 mod tests {
     use super::*;
     use omt_geom::{Disk, Point2, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn random_trees_are_valid() {

@@ -81,8 +81,8 @@ mod tests {
     fn lower_bound_is_sound_for_all_builders() {
         use crate::greedy::{GreedyBuilder, GreedyObjective};
         use omt_geom::{Disk, Region};
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use omt_rng::rngs::SmallRng;
+        use omt_rng::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(6);
         let pts = Disk::unit().sample_n(&mut rng, 100);
         let lb = optimal_radius_lower_bound(Point2::ORIGIN, &pts);

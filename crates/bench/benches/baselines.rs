@@ -1,9 +1,10 @@
 //! The scalability argument of the paper's related-work section: the
 //! linear-time polar grid against the quadratic heuristics it cites.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_baselines::{BandwidthLatency, GreedyBuilder, GreedyObjective};
 use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::PolarGridBuilder;
 use omt_geom::Point2;
 

@@ -1,8 +1,9 @@
 //! Section II standalone: the constant-factor bisection algorithm at both
 //! degree settings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::Bisection;
 use omt_geom::Point2;
 

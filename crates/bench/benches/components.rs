@@ -2,13 +2,14 @@
 //! k-selection vs. in-cell bisection vs. tree assembly), plus the
 //! embedding substrate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::{PolarGrid2, PolarGridBuilder};
 use omt_geom::{Point2, PolarPoint};
 use omt_net::{gnp_embed, DelayMatrix, GnpConfig, WaxmanConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 
 fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("components");

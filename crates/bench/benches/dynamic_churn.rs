@@ -1,8 +1,9 @@
 //! Dynamic membership benchmarks: join throughput and churn maintenance,
 //! plus the dissemination simulator's cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::{DynamicOverlay, PolarGridBuilder};
 use omt_geom::Point2;
 use omt_sim::{simulate, SimConfig};

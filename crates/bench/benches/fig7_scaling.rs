@@ -1,8 +1,9 @@
 //! Figure 7: running time versus n — the near-linear scaling curve,
 //! including the paper's inset range (100 .. 10,000).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::PolarGridBuilder;
 use omt_geom::Point2;
 

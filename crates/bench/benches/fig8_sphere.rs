@@ -1,8 +1,9 @@
 //! Figure 8 (timing dimension): 3-D unit-sphere construction at out-degree
 //! 10 and out-degree 2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_bench::ball_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::SphereGridBuilder;
 use omt_geom::Point3;
 

@@ -1,8 +1,9 @@
 //! Table I, "CPU Sec" columns: construction time of the degree-6 and
 //! degree-2 polar-grid trees per problem size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
 use omt_core::PolarGridBuilder;
 use omt_geom::Point2;
 

@@ -1,0 +1,377 @@
+//! A std-only benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds hermetically offline, so the external `criterion`
+//! crate is replaced by this `Instant`-based harness. It keeps the subset
+//! of the API the benches use — groups, `BenchmarkId`, `Throughput`,
+//! `bench_with_input`/`bench_function`, `Bencher::iter` — and emits one
+//! `BENCH_<group>.json` per group (the same shape the repository's
+//! `BENCH_*.json` trajectory files use), plus a human-readable line per
+//! benchmark on stdout.
+//!
+//! Timing model: per benchmark, one warm-up call calibrates an iteration
+//! count targeting [`TARGET_SAMPLE_NANOS`] per sample, then `sample_size`
+//! samples are measured and summarized (mean/median/min/max/stddev).
+//!
+//! Runner flags (cargo passes these through):
+//! - `--test` / `--quick`: one sample, one iteration — CI smoke mode.
+//! - any bare argument: substring filter on `group/id`.
+//! - `OMT_BENCH_DIR`: output directory (default `target/omt-bench`).
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Per-sample time budget the calibration aims for, in nanoseconds.
+const TARGET_SAMPLE_NANOS: f64 = 50_000_000.0;
+
+/// How work is counted for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter` style.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// Summary statistics of one benchmark.
+#[derive(Clone, Debug)]
+struct BenchStats {
+    id: String,
+    samples: usize,
+    iters_per_sample: u64,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    stddev_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchStats {
+    fn per_second(&self) -> Option<f64> {
+        let count = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        (self.mean_ns > 0.0).then(|| count as f64 / (self.mean_ns * 1e-9))
+    }
+}
+
+/// Measures the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    quick: bool,
+    stats: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Time `f`, running it enough times per sample to fill the per-sample
+    /// budget. The last measurement wins if called twice (criterion forbids
+    /// that; the benches here never do it).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up doubles as calibration.
+        let warm = Instant::now();
+        let _keep = std::hint::black_box(f());
+        let warm_ns = warm.elapsed().as_nanos() as f64;
+
+        let iters = if self.quick {
+            1
+        } else {
+            (TARGET_SAMPLE_NANOS / warm_ns.max(1.0))
+                .clamp(1.0, 1_000_000.0)
+                .round() as u64
+        };
+        let samples = if self.quick { 1 } else { self.sample_size };
+
+        let mut per_iter = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let _keep = std::hint::black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.stats = Some((per_iter, iters));
+    }
+}
+
+/// A named group of benchmarks sharing configuration; results are written
+/// on [`finish`](BenchmarkGroup::finish).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<BenchStats>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the work count reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            quick: self.criterion.quick,
+            stats: None,
+        };
+        f(&mut bencher);
+        let Some((mut per_iter, iters)) = bencher.stats else {
+            eprintln!("{full}: bench closure never called Bencher::iter");
+            return;
+        };
+        per_iter.sort_by(f64::total_cmp);
+        let n = per_iter.len() as f64;
+        let mean = per_iter.iter().sum::<f64>() / n;
+        let median = per_iter[per_iter.len() / 2];
+        let var = per_iter
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        let stats = BenchStats {
+            id: id.id,
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            stddev_ns: var.sqrt(),
+            throughput: self.throughput,
+        };
+        let rate = stats
+            .per_second()
+            .map_or(String::new(), |r| format!("  ({r:.3e}/s)"));
+        println!(
+            "{full:<40} mean {:>12}  median {:>12}  ±{:>10}{rate}",
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.stddev_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// Write the group's `BENCH_<group>.json` and print a summary.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let dir = self.criterion.out_dir.clone();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("omt-bench: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"omt-bench/v1\",\n");
+        out.push_str(&format!("  \"group\": {},\n", json_str(&self.name)));
+        out.push_str(&format!("  \"quick\": {},\n", self.criterion.quick));
+        out.push_str("  \"benches\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            let throughput = match s.throughput {
+                Some(Throughput::Elements(n)) => format!(", \"elements\": {n}"),
+                Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+                None => String::new(),
+            };
+            let rate = s
+                .per_second()
+                .map_or(String::new(), |r| format!(", \"per_second\": {r:.3}"));
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"stddev_ns\": {:.1}{throughput}{rate}}}{}\n",
+                json_str(&s.id),
+                s.samples,
+                s.iters_per_sample,
+                s.mean_ns,
+                s.median_ns,
+                s.min_ns,
+                s.max_ns,
+                s.stddev_ns,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = fs::write(&path, out) {
+            eprintln!("omt-bench: cannot write {}: {e}", path.display());
+        } else {
+            println!("  -> {}", path.display());
+        }
+    }
+}
+
+/// The harness entry point, criterion-style.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+    out_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            filter: None,
+            out_dir: std::env::var_os("OMT_BENCH_DIR").map_or_else(
+                // Anchor on this crate's manifest so the output lands in the
+                // workspace target dir regardless of the runner's cwd.
+                || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/omt-bench"),
+                PathBuf::from,
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure from the process arguments (`--test`/`--quick` for smoke
+    /// mode, a bare argument as substring filter; other flags ignored).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => c.quick = true,
+                a if !a.starts_with('-') => c.filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmark a standalone function in an implicit group named after it.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::harness::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -394,8 +394,8 @@ mod tests {
     use super::*;
     use crate::bounds::{bisection_bound_deg2, bisection_bound_deg4};
     use omt_geom::{Disk, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -190,8 +190,8 @@ pub(crate) fn bisect2_3d(
 mod tests {
     use super::*;
     use omt_geom::{Ball, Point3, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn setup(n: usize, seed: u64) -> (TreeBuilder<3>, Vec<SphericalPoint>, Vec<u32>) {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -375,8 +375,8 @@ impl Bisection3 {
         if let Some(bad) = points.iter().position(|p| !p.is_finite()) {
             return Err(BuildError::NonFinitePoint { index: bad });
         }
-        let mut builder = TreeBuilder::new(source, points.to_vec())
-            .max_out_degree(self.max_out_degree);
+        let mut builder =
+            TreeBuilder::new(source, points.to_vec()).max_out_degree(self.max_out_degree);
         let sph: Vec<SphericalPoint> = points
             .iter()
             .map(|p| SphericalPoint::from_cartesian(&(*p - source)))
@@ -401,15 +401,18 @@ impl Bisection3 {
 mod standalone_tests {
     use super::*;
     use omt_geom::{Ball, Point3, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn builds_valid_trees_at_both_variants() {
         let mut rng = SmallRng::seed_from_u64(1);
         let pts = Ball::<3>::unit().sample_n(&mut rng, 600);
         for deg in [2u32, 5, 8, 12] {
-            let t = Bisection3::new(deg).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+            let t = Bisection3::new(deg)
+                .unwrap()
+                .build(Point3::ORIGIN, &pts)
+                .unwrap();
             assert_eq!(t.len(), 600);
             t.validate(Some(deg)).unwrap();
         }
@@ -417,26 +420,28 @@ mod standalone_tests {
 
     #[test]
     fn constant_factor_versus_lower_bound_3d() {
-        let mut rng = SmallRng::seed_from_u64(2);
         for seed in 0..3u64 {
             let mut r = SmallRng::seed_from_u64(seed);
             let pts = Ball::<3>::unit().sample_n(&mut r, 400);
             let lb = pts.iter().map(|p| p.norm()).fold(0.0f64, f64::max);
-            let t8 = Bisection3::new(8).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+            let t8 = Bisection3::new(8)
+                .unwrap()
+                .build(Point3::ORIGIN, &pts)
+                .unwrap();
             assert!(t8.radius() <= 8.0 * lb, "deg8 radius {}", t8.radius());
-            let t2 = Bisection3::new(2).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+            let t2 = Bisection3::new(2)
+                .unwrap()
+                .build(Point3::ORIGIN, &pts)
+                .unwrap();
             assert!(t2.radius() <= 14.0 * lb, "deg2 radius {}", t2.radius());
         }
-        let _ = rng;
     }
 
     #[test]
     fn rejects_degree_one_and_bad_points() {
         assert!(Bisection3::new(1).is_err());
         let b = Bisection3::new(4).unwrap();
-        assert!(b
-            .build(Point3::new([f64::NAN, 0.0, 0.0]), &[])
-            .is_err());
+        assert!(b.build(Point3::new([f64::NAN, 0.0, 0.0]), &[]).is_err());
         assert!(b
             .build(Point3::ORIGIN, &[Point3::new([0.0, f64::INFINITY, 0.0])])
             .is_err());

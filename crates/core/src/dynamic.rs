@@ -507,8 +507,8 @@ fn unflatten(idx: usize) -> (u32, u64) {
 mod tests {
     use super::*;
     use omt_geom::{Disk, Region};
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::{RngExt, SeedableRng};
 
     #[test]
     fn unflatten_inverts_layout() {

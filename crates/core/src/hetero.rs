@@ -248,8 +248,8 @@ impl HeteroGridBuilder {
 mod tests {
     use super::*;
     use omt_geom::{Disk, Region};
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::{RngExt, SeedableRng};
 
     fn check_capacities(tree: &MulticastTree<2>, capacities: &[u32], source_cap: u32) {
         assert!(tree.source_out_degree() <= source_cap);

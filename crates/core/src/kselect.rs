@@ -143,7 +143,6 @@ pub(crate) fn select_rings(a: &Assignments) -> (u32, Vec<bool>) {
     (0, occ)
 }
 
-
 /// Buckets points into the cells of a level-`k` grid as a CSR structure:
 /// `counts[c]..counts[c + 1]` indexes the members of cell `c` in the
 /// returned member list.

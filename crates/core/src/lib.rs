@@ -46,8 +46,8 @@
 //! ```
 //! use omt_core::PolarGridBuilder;
 //! use omt_geom::{Disk, Point2, Region};
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use omt_rng::rngs::SmallRng;
+//! use omt_rng::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = SmallRng::seed_from_u64(11);

@@ -53,8 +53,8 @@ pub struct MinDiameterReport {
 /// ```
 /// use omt_core::MinDiameterBuilder;
 /// use omt_geom::{Disk, Region};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = SmallRng::seed_from_u64(4);
@@ -204,8 +204,8 @@ fn nearest_index_3d(points: &[Point3], target: &Point3) -> usize {
 mod tests {
     use super::*;
     use omt_geom::{Ball, Disk, Region, Translated};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn diameter_within_factor_two_of_lower_bound_asymptotically() {

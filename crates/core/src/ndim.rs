@@ -132,8 +132,8 @@ pub struct NdGridReport {
 /// ```
 /// use omt_core::NdGridBuilder;
 /// use omt_geom::{Ball, Point, Region};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = SmallRng::seed_from_u64(2);
@@ -565,8 +565,8 @@ fn bisect2_nd<const D: usize>(
 mod tests {
     use super::*;
     use omt_geom::{Ball, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn sin_power_integral_known_values() {

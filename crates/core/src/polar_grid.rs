@@ -79,8 +79,8 @@ pub struct PolarGridReport {
 /// ```
 /// use omt_core::PolarGridBuilder;
 /// use omt_geom::{Disk, Point2, Region};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = SmallRng::seed_from_u64(5);
@@ -520,8 +520,8 @@ impl PolarGridBuilder {
 mod tests {
     use super::*;
     use omt_geom::{BoxRegion, Disk, Point, Region, Translated};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -26,8 +26,8 @@ use crate::polar_grid::{PolarGridReport, RepStrategy};
 /// ```
 /// use omt_core::SphereGridBuilder;
 /// use omt_geom::{Ball, Point3, Region};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = SmallRng::seed_from_u64(5);
@@ -427,8 +427,8 @@ fn wire_cell_deg2_3d(
 mod tests {
     use super::*;
     use omt_geom::{Ball, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn ball_points(n: usize, seed: u64) -> Vec<Point3> {
         let mut rng = SmallRng::seed_from_u64(seed);

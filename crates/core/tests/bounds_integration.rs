@@ -4,8 +4,8 @@
 
 use omt_core::{bounds, PolarGridBuilder, SphereGridBuilder};
 use omt_geom::{Ball, Disk, Point2, Point3, Region};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 
 /// Equation (7) holds for every (n, degree, seed) cell, and the reported
 /// bound equals the closed form at the selected k.

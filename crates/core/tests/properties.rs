@@ -3,7 +3,8 @@
 
 use omt_core::{Bisection, PolarGridBuilder, SphereGridBuilder};
 use omt_geom::{Point2, Point3};
-use proptest::prelude::*;
+use omt_rng::proptest::{any, collection, Strategy};
+use omt_rng::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, props};
 
 /// Mixed adversarial point clouds: clusters, lines, rings and noise.
 fn adversarial_points() -> impl Strategy<Value = Vec<Point2>> {
@@ -29,18 +30,16 @@ fn adversarial_points() -> impl Strategy<Value = Vec<Point2>> {
             })
             .collect::<Vec<_>>()
     });
-    let noise = prop::collection::vec(
+    let noise = collection::vec(
         (-3.0f64..3.0, -3.0f64..3.0).prop_map(|(x, y)| Point2::new([x, y])),
         0..40,
     );
-    prop::collection::vec(prop_oneof![cluster, line, ring, noise], 1..4)
+    collection::vec(prop_oneof![cluster, line, ring, noise], 1..4)
         .prop_map(|chunks| chunks.into_iter().flatten().collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
+props! {
+    #[cases(48)]
     fn polar_grid_survives_adversarial_inputs(points in adversarial_points()) {
         for deg in [2u32, 6] {
             let (tree, report) = PolarGridBuilder::new()
@@ -53,7 +52,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(48)]
     fn bisection_survives_adversarial_inputs(points in adversarial_points()) {
         for deg in [2u32, 4] {
             let tree = Bisection::new(deg).unwrap().build(Point2::ORIGIN, &points).unwrap();
@@ -61,9 +60,9 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(48)]
     fn scaling_and_translation_equivariance(
-        points in prop::collection::vec(
+        points in collection::vec(
             (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(x, y)| Point2::new([x, y])),
             2..60,
         ),
@@ -90,17 +89,17 @@ proptest! {
         }
     }
 
-    #[test]
-    fn source_among_the_points(points in adversarial_points(), pick in any::<prop::sample::Index>()) {
+    #[cases(48)]
+    fn source_among_the_points(points in adversarial_points(), pick in any::<u64>()) {
         // Using one of the points as the source must work (zero-distance
         // receivers included).
         prop_assume!(!points.is_empty());
-        let source = *pick.get(&points);
+        let source = points[(pick % points.len() as u64) as usize];
         let tree = PolarGridBuilder::new().build(source, &points).unwrap();
         tree.validate(Some(6)).unwrap();
     }
 
-    #[test]
+    #[cases(48)]
     fn sphere_grid_survives_degenerate_3d(
         m in 1usize..50,
         axis in 0usize..3,
@@ -117,7 +116,7 @@ proptest! {
         tree.validate(Some(10)).unwrap();
     }
 
-    #[test]
+    #[cases(48)]
     fn report_internal_consistency(points in adversarial_points()) {
         let (tree, report) = PolarGridBuilder::new()
             .build_with_report(Point2::ORIGIN, &points)

@@ -7,7 +7,7 @@ use omt_experiments::cli::ExpArgs;
 use omt_experiments::report::{series_csv, series_markdown, write_result};
 use omt_experiments::workload::trial_rng;
 use omt_geom::{Point2, Region};
-use rand::RngExt;
+use omt_rng::RngExt;
 
 fn main() {
     let args = ExpArgs::from_env();

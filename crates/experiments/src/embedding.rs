@@ -10,8 +10,8 @@ use omt_net::{
     distortion_report, gnp_embed, stress, vivaldi_embed, DelayMatrix, GnpConfig, VivaldiConfig,
     WaxmanConfig,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 
 /// One embedding pipeline's result.
 #[derive(Clone, Debug, PartialEq)]

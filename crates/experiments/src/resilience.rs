@@ -9,14 +9,17 @@
 use omt_baselines::{star_tree, GreedyBuilder, GreedyObjective};
 use omt_core::PolarGridBuilder;
 use omt_geom::Point2;
+use omt_rng::RngExt;
 use omt_sim::simulate_with_failures;
-use rand::RngExt;
 
 use crate::stats::Accumulator;
 use crate::workload::{disk_trial, trial_rng};
 
 /// A named tree constructor over one workload.
-type Construction = (&'static str, Box<dyn Fn(&[Point2]) -> omt_tree::MulticastTree<2>>);
+type Construction = (
+    &'static str,
+    Box<dyn Fn(&[Point2]) -> omt_tree::MulticastTree<2>>,
+);
 
 /// Aggregated stranding for one (tree, crash-rate) cell.
 #[derive(Clone, Debug, PartialEq)]

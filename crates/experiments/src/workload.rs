@@ -2,8 +2,8 @@
 //! uniformly distributed in the unit disk (2-D) or unit ball (3-D), with
 //! the source at the center, one independent set per trial.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use omt_rng::rngs::SmallRng;
+use omt_rng::{SeedableRng, SplitMix64};
 
 use omt_geom::{Ball, Point2, Point3, Region};
 
@@ -32,13 +32,13 @@ pub fn default_trials(n: usize) -> usize {
 /// A deterministic per-(size, trial) RNG, so experiments are reproducible
 /// and trials are independent.
 pub fn trial_rng(experiment_seed: u64, n: usize, trial: usize) -> SmallRng {
-    // SplitMix-style mixing of the three identifiers.
-    let mut z = experiment_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n as u64 + 1))
-        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(trial as u64 + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
+    // Fold the three identifiers through the SplitMix64 finalizer one at a
+    // time; each fold fully mixes before the next identifier enters, so
+    // (seed, n, trial) triples land on well-separated streams.
+    let z = SplitMix64::mix(
+        SplitMix64::mix(experiment_seed.wrapping_add(SplitMix64::GAMMA.wrapping_mul(n as u64 + 1)))
+            .wrapping_add(trial as u64 + 1),
+    );
     SmallRng::seed_from_u64(z)
 }
 

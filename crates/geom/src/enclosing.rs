@@ -186,8 +186,8 @@ pub fn bounding_sphere(points: &[Point3]) -> Option<Sphere> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{RngExt, SeedableRng};
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::{RngExt, SeedableRng};
 
     #[test]
     fn encloses_all_points() {

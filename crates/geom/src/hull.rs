@@ -179,8 +179,8 @@ mod tests {
 
     #[test]
     fn diameter_matches_brute_force() {
-        use rand::rngs::SmallRng;
-        use rand::{RngExt, SeedableRng};
+        use omt_rng::rngs::SmallRng;
+        use omt_rng::{RngExt, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(5);
         for trial in 0..20 {
             let n = 3 + (trial * 7) % 60;

@@ -14,7 +14,7 @@
 //!   [`ConvexPolygon`], [`Annulus`]) — containment + uniform sampling for
 //!   the experiment workloads.
 //! * [`sample`] — low-level uniform samplers (disk, ball, sphere, box,
-//!   triangle) built only on `rand`'s uniform primitives.
+//!   triangle) built only on `omt-rng`'s uniform primitives.
 //! * [`hull`] / [`enclosing`] — convex hulls, rotating-calipers diameters,
 //!   and smallest enclosing circles (Welzl) for the minimum-diameter tree
 //!   variant.
@@ -26,8 +26,8 @@
 //!
 //! ```
 //! use omt_geom::{Disk, Point2, Region};
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use omt_rng::rngs::SmallRng;
+//! use omt_rng::SeedableRng;
 //!
 //! let mut rng = SmallRng::seed_from_u64(1);
 //! let points = Disk::unit().sample_n(&mut rng, 1000);

@@ -6,7 +6,7 @@
 //! polygons, and annuli (the last one deliberately *non*-convex, as a
 //! counterexample generator for tests).
 
-use rand::Rng;
+use omt_rng::Rng;
 
 use crate::point::{Point, Point2, Point3};
 use crate::sample;
@@ -44,8 +44,8 @@ pub trait Region<const D: usize> {
 ///
 /// ```
 /// use omt_geom::{Ball, Point2, Region};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
 ///
 /// let disk = Ball::<2>::unit();
 /// let mut rng = SmallRng::seed_from_u64(7);
@@ -267,7 +267,7 @@ impl Region<2> for ConvexPolygon {
     }
 
     fn sample(&self, rng: &mut dyn Rng) -> Point2 {
-        use rand::RngExt;
+        use omt_rng::RngExt;
         let total = self.area();
         let t: f64 = rng.random_range(0.0..total);
         let idx = self
@@ -340,7 +340,7 @@ impl Region<2> for Annulus {
     }
 
     fn sample(&self, rng: &mut dyn Rng) -> Point2 {
-        use rand::RngExt;
+        use omt_rng::RngExt;
         // Inverse CDF on the squared radius for exact uniformity.
         let u: f64 = rng.random();
         let r2 = self.r_in * self.r_in + u * (self.r_out * self.r_out - self.r_in * self.r_in);
@@ -408,8 +408,8 @@ type _Assert3 = Point3;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)

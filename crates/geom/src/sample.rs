@@ -3,10 +3,10 @@
 //! The paper's experiments draw points uniformly from the unit disk (2-D)
 //! and the unit ball (3-D). These helpers implement exact uniform sampling
 //! for disks, balls of any dimension, sphere surfaces, boxes, and triangles,
-//! using only `rand`'s uniform primitives (Gaussian deviates come from our
+//! using only `omt-rng`'s uniform primitives (Gaussian deviates come from our
 //! own Marsaglia polar transform, so no extra dependency is needed).
 
-use rand::{Rng, RngExt};
+use omt_rng::{Rng, RngExt};
 
 use crate::point::{Point, Point2};
 
@@ -111,8 +111,8 @@ pub fn triangle_signed_area(a: &Point2, b: &Point2, c: &Point2) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(0x0517_5EED)

@@ -156,8 +156,8 @@ pub fn median_relative_error(truth: &DelayMatrix, estimate: &DelayMatrix) -> f64
 mod tests {
     use super::*;
     use crate::graph::WaxmanConfig;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn from_graph_is_symmetric_metric() {

@@ -8,7 +8,7 @@
 //! but deterministic and dependency-free, and entirely adequate for the
 //! distortion experiments (the real GNP used Simplex downhill).
 
-use rand::{Rng, RngExt};
+use omt_rng::{Rng, RngExt};
 
 use omt_geom::Point;
 
@@ -281,8 +281,8 @@ mod tests {
     use super::*;
     use crate::delay::{median_relative_error, stress};
     use omt_geom::{Disk, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     /// Delays that ARE Euclidean distances must embed almost perfectly.
     #[test]

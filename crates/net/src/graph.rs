@@ -6,7 +6,7 @@
 //! scattered in a plane, link probability decaying with distance — with
 //! propagation delays proportional to link length.
 
-use rand::{Rng, RngExt};
+use omt_rng::{Rng, RngExt};
 
 use omt_geom::Point2;
 
@@ -264,8 +264,8 @@ impl WaxmanConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn waxman_is_connected() {

@@ -25,8 +25,8 @@
 //!
 //! ```
 //! use omt_net::{DelayMatrix, GnpConfig, WaxmanConfig, gnp_embed};
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use omt_rng::rngs::SmallRng;
+//! use omt_rng::SeedableRng;
 //!
 //! let mut rng = SmallRng::seed_from_u64(1);
 //! let underlay = WaxmanConfig { routers: 80, ..WaxmanConfig::default() }.sample(&mut rng);

@@ -190,8 +190,8 @@ fn recompute_best(
 mod tests {
     use super::*;
     use crate::graph::WaxmanConfig;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn unbounded_degree_is_shortest_path_star() {

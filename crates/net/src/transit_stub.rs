@@ -5,7 +5,7 @@
 //! detour through the backbone), which is exactly the stress the embedding
 //! experiments need.
 
-use rand::{Rng, RngExt};
+use omt_rng::{Rng, RngExt};
 
 use omt_geom::Point2;
 
@@ -202,8 +202,8 @@ impl TransitStubConfig {
 mod tests {
     use super::*;
     use crate::delay::DelayMatrix;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn generated_topology_is_connected_and_sized() {

@@ -7,7 +7,7 @@
 //! decentralized counterpart the paper's conclusion asks for ("in practice,
 //! there is interest in a decentralized version").
 
-use rand::{Rng, RngExt};
+use omt_rng::{Rng, RngExt};
 
 use omt_geom::Point;
 
@@ -108,8 +108,8 @@ mod tests {
     use super::*;
     use crate::delay::stress;
     use omt_geom::{Disk, Point2, Region};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
 
     #[test]
     fn embeds_euclidean_metric_reasonably() {

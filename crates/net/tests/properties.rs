@@ -1,14 +1,11 @@
 //! Property-based tests of the network substrate.
 
 use omt_net::{median_relative_error, stress, DelayMatrix, WaxmanConfig};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use omt_rng::rngs::SmallRng;
+use omt_rng::{prop_assert, prop_assert_eq, props, RngExt, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
+props! {
+    #[cases(32)]
     fn waxman_graphs_are_connected_metrics(
         routers in 1usize..80,
         seed in 0u64..1000,
@@ -38,14 +35,13 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(32)]
     fn stress_is_zero_iff_identical_and_scale_covariant(
         n in 2usize..12,
         seed in 0u64..1000,
         scale in 1.1f64..5.0,
     ) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        use rand::RngExt;
         let vals: Vec<f64> = (0..n * n).map(|_| rng.random_range(0.1..10.0)).collect();
         let t = DelayMatrix::from_fn(n, |i, j| vals[i * n + j]);
         prop_assert_eq!(stress(&t, &t), 0.0);
@@ -56,10 +52,9 @@ proptest! {
         prop_assert!((median_relative_error(&t, &e) - (scale - 1.0)).abs() < 1e-9);
     }
 
-    #[test]
+    #[cases(32)]
     fn delay_matrix_stats(n in 2usize..15, seed in 0u64..500) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        use rand::RngExt;
         let vals: Vec<f64> = (0..n * n).map(|_| rng.random_range(0.0..10.0)).collect();
         let m = DelayMatrix::from_fn(n, |i, j| vals[i * n + j]);
         prop_assert!(m.mean() <= m.max() + 1e-12);

@@ -1,0 +1,162 @@
+//! Uniform sampling of primitive types and ranges.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::Rng;
+
+/// Types with a canonical "standard" distribution: floats uniform in
+/// `[0, 1)`, integers uniform over their full range, `bool` fair.
+pub trait StandardUniform: Sized {
+    /// Draw one value from the standard distribution.
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> f64 {
+        // 53 high bits → uniform multiples of 2^-53 in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> bool {
+        // The top bit is the strongest xoshiro++ output bit.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),+) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    #[inline]
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+/// Types uniformly samplable from a bounded range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform in `[lo, hi)` when `inclusive` is false, `[lo, hi]` when
+    /// true. Callers guarantee the range is non-empty.
+    fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+/// Uniform `u64` in `[0, span)` via Lemire's widening-multiply method with
+/// rejection (exactly unbiased). `span == 0` means the full 2^64 range.
+#[inline]
+fn uniform_u64_below(span: u64, rng: &mut (impl Rng + ?Sized)) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Reject the low-product values that would make some residues over-
+    // represented; at most `2^64 mod span` of the 2^64 inputs are rejected.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(span);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> Self {
+                // Width of [lo, hi) or [lo, hi]; 0 encodes the full u64 span
+                // (only reachable for inclusive full-width u64/usize ranges).
+                let span = (hi as u64)
+                    .wrapping_sub(lo as u64)
+                    .wrapping_add(u64::from(inclusive));
+                lo.wrapping_add(uniform_u64_below(span, rng) as $t)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty as $u:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless, clippy::cast_sign_loss)]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> Self {
+                // Subtract at the type's own width so sign extension
+                // cannot leak into the span, then widen.
+                let span = ((hi as $u).wrapping_sub(lo as $u) as u64)
+                    .wrapping_add(u64::from(inclusive));
+                lo.wrapping_add(uniform_u64_below(span, rng) as $t)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut (impl Rng + ?Sized)) -> Self {
+                let unit = <$t as StandardUniform>::sample_standard(rng);
+                let v = lo + unit * (hi - lo);
+                // Floating rounding can land exactly on `hi`; fold it back
+                // for half-open ranges.
+                if !inclusive && v >= hi {
+                    hi - (hi - lo) * <$t>::EPSILON
+                } else {
+                    v.clamp(lo, hi)
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range types accepted by [`RngExt::random_range`](crate::RngExt::random_range).
+pub trait SampleRange<T> {
+    /// Draw one value uniform in the range.
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample an empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}

@@ -1,0 +1,161 @@
+//! Deterministic, dependency-free randomness for the workspace.
+//!
+//! Every experiment in the paper ("Overlay Multicast Trees of Minimal
+//! Delay") draws points from uniform disks and balls; reproducing its
+//! tables and figures bit-for-bit across machines requires a PRNG whose
+//! streams we fully own. This crate provides exactly that, with no
+//! external dependencies:
+//!
+//! - [`rngs::SmallRng`] — xoshiro256++ (Blackman & Vigna), a small, fast,
+//!   high-quality generator. Seeded from a single `u64` via SplitMix64,
+//!   matching the widely published reference vectors (pinned by golden
+//!   tests in this crate).
+//! - [`SplitMix64`] — the seeding/mixing generator, also useful on its own
+//!   for deriving independent per-component streams from one root seed.
+//! - A `rand`-compatible facade: the [`Rng`] core trait (object-safe, so
+//!   samplers can take `&mut dyn Rng`), the [`RngExt`] extension trait
+//!   (`random`, `random_range`, `random_bool`, `shuffle`, `choose`), and
+//!   [`SeedableRng`].
+//! - [`mod@proptest`] — a small seeded property-test harness (the
+//!   [`props!`] macro: N seeded cases, shrink-by-halving on failure, the
+//!   failing seed printed for replay via `OMT_PROP_SEED`).
+//!
+//! # Seeding discipline
+//!
+//! Experiments use **one root seed**, and derive per-component streams via
+//! SplitMix64 so that adding a component never perturbs the streams of the
+//! others:
+//!
+//! ```
+//! use omt_rng::rngs::SmallRng;
+//! use omt_rng::{SeedableRng, SplitMix64};
+//!
+//! let root = 42u64;
+//! let mut derive = SplitMix64::new(root);
+//! let mut workload_rng = SmallRng::seed_from_u64(derive.next_u64());
+//! let mut failure_rng = SmallRng::seed_from_u64(derive.next_u64());
+//! # let _ = (&mut workload_rng, &mut failure_rng);
+//! ```
+
+mod distr;
+pub mod proptest;
+pub mod rngs;
+mod splitmix;
+mod xoshiro;
+
+pub use distr::{SampleRange, SampleUniform, StandardUniform};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256PlusPlus;
+
+/// A source of random 64-bit words.
+///
+/// The trait is deliberately tiny and **object-safe**: geometric samplers
+/// take `&mut dyn Rng`, so heterogeneous regions can share one generator.
+/// All the ergonomic methods live on the blanket extension trait
+/// [`RngExt`].
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (the high half of [`next_u64`](Rng::next_u64),
+    /// which are the strongest bits of xoshiro-family outputs).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every [`Rng`]
+/// (including `dyn Rng`).
+pub trait RngExt: Rng {
+    /// A value sampled from the standard distribution of `T`: floats are
+    /// uniform in `[0, 1)`, integers uniform over their full range, `bool`
+    /// fair.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A value uniform in `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        self.random::<f64>() < p
+    }
+
+    /// Shuffle `slice` in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_range(0..slice.len())])
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator that can be created from a fixed-size seed or a single
+/// `u64` (expanded through SplitMix64, as `rand` does).
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64`, expanding it through SplitMix64.
+    ///
+    /// This matches `rand`'s `seed_from_u64`, so historical seeds keep
+    /// producing the streams they always did.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut mixer = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = mixer.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,656 @@
+//! A small seeded property-test harness.
+//!
+//! Replaces the external `proptest` dependency for this workspace's needs:
+//! run a test body over `N` deterministically seeded random cases, and on
+//! failure shrink the input by halving toward the simplest element while
+//! printing the failing case seed for replay.
+//!
+//! # Writing properties
+//!
+//! ```
+//! use omt_rng::{props, prop_assert};
+//!
+//! props! {
+//!     #[cases(128)]
+//!     fn addition_commutes(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+//!         prop_assert!((a + b - (b + a)).abs() == 0.0);
+//!     }
+//! }
+//! # fn main() {} // the generated #[test] runs under the test harness
+//! ```
+//!
+//! # Replaying a failure
+//!
+//! A failing case panics with a message like:
+//!
+//! ```text
+//! property 'my_crate::tests::addition_commutes' failed (case 17 of 128)
+//!   replay: OMT_PROP_SEED=4821062307356269930 cargo test addition_commutes
+//!   shrunk input: (0.0, 1.5)
+//! ```
+//!
+//! Setting `OMT_PROP_SEED` reruns exactly that case (sampling, shrinking
+//! and reporting included), regardless of the configured case count.
+//! `OMT_PROP_CASES` overrides the case count globally.
+
+use core::fmt;
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rngs::SmallRng;
+use crate::{RngExt, SeedableRng, SplitMix64};
+
+/// Default number of cases per property when `#[cases(N)]` is omitted.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Hard cap on shrink attempts per failure.
+const MAX_SHRINK_STEPS: usize = 512;
+
+/// A generator of random test inputs.
+///
+/// Sampling happens on a `Raw` representation (kept `Clone + Debug` so the
+/// harness can replay and report it); `realize` converts raw to the value
+/// handed to the test body. The split lets mapped strategies
+/// ([`Strategy::prop_map`]) shrink through the map: shrinking always
+/// operates on raws.
+pub trait Strategy {
+    /// The sampled representation the harness stores, shrinks and prints.
+    type Raw: Clone + fmt::Debug;
+    /// The value handed to the test body.
+    type Value;
+
+    /// Draw one raw input.
+    fn sample_raw(&self, rng: &mut SmallRng) -> Self::Raw;
+
+    /// Convert a raw input into the test value.
+    fn realize(&self, raw: &Self::Raw) -> Self::Value;
+
+    /// Candidate simplifications of `raw`, each one "halved" toward the
+    /// simplest input. The harness keeps a candidate only if the test
+    /// still fails on it.
+    fn shrink_raw(&self, _raw: &Self::Raw) -> Vec<Self::Raw> {
+        Vec::new()
+    }
+
+    /// A strategy producing `f(value)`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric range strategies
+// ---------------------------------------------------------------------------
+
+/// Shrink candidates for `v` toward `lo`: a ladder `v - Δ` with `Δ`
+/// halving from the full distance down to the smallest step. Earlier
+/// entries are simpler; because the runner restarts the ladder from every
+/// accepted candidate, the search converges on the minimal failing value
+/// like a binary search.
+trait HalvingLadder: Sized {
+    fn halving_ladder(self, lo: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_ladder_int {
+    ($($t:ty),+) => {$(
+        impl HalvingLadder for $t {
+            fn halving_ladder(self, lo: Self) -> Vec<Self> {
+                // i128 arithmetic sidesteps overflow for every int width
+                // used here (≤ 64 bits).
+                let v = self as i128;
+                let mut delta = v - (lo as i128);
+                let mut out = Vec::new();
+                // Sign-symmetric so full-range strategies shrink negative
+                // values toward zero too.
+                while delta != 0 {
+                    out.push((v - delta) as $t);
+                    delta /= 2;
+                }
+                out
+            }
+        }
+    )+};
+}
+
+impl_ladder_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_ladder_float {
+    ($($t:ty),+) => {$(
+        impl HalvingLadder for $t {
+            fn halving_ladder(self, lo: Self) -> Vec<Self> {
+                let mut delta = self - lo;
+                if !delta.is_finite() || delta <= 0.0 {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                // 48 halvings take the step below any meaningful scale.
+                for _ in 0..48 {
+                    let candidate = self - delta;
+                    if candidate == self {
+                        break;
+                    }
+                    out.push(candidate.max(lo));
+                    delta /= 2.0;
+                }
+                out
+            }
+        }
+    )+};
+}
+
+impl_ladder_float!(f32, f64);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn sample_raw(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                raw.halving_ladder(self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn sample_raw(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                raw.halving_ladder(*self.start())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Strategy over the full range of `T`; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-range strategy for a primitive: every `u64`, a fair `bool`, …
+#[must_use]
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Raw = $t;
+            type Value = $t;
+
+            fn sample_raw(&self, rng: &mut SmallRng) -> $t {
+                rng.random()
+            }
+
+            fn realize(&self, raw: &$t) -> $t {
+                *raw
+            }
+
+            fn shrink_raw(&self, raw: &$t) -> Vec<$t> {
+                raw.halving_ladder(0)
+            }
+        }
+    )+};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Raw = bool;
+    type Value = bool;
+
+    fn sample_raw(&self, rng: &mut SmallRng) -> bool {
+        rng.random()
+    }
+
+    fn realize(&self, raw: &bool) -> bool {
+        *raw
+    }
+
+    fn shrink_raw(&self, raw: &bool) -> Vec<bool> {
+        if *raw {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Raw = S::Raw;
+    type Value = T;
+
+    fn sample_raw(&self, rng: &mut SmallRng) -> S::Raw {
+        self.inner.sample_raw(rng)
+    }
+
+    fn realize(&self, raw: &S::Raw) -> T {
+        (self.f)(self.inner.realize(raw))
+    }
+
+    fn shrink_raw(&self, raw: &S::Raw) -> Vec<S::Raw> {
+        self.inner.shrink_raw(raw)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Raw = ($($s::Raw,)+);
+            type Value = ($($s::Value,)+);
+
+            fn sample_raw(&self, rng: &mut SmallRng) -> Self::Raw {
+                ($(self.$idx.sample_raw(rng),)+)
+            }
+
+            fn realize(&self, raw: &Self::Raw) -> Self::Value {
+                ($(self.$idx.realize(&raw.$idx),)+)
+            }
+
+            fn shrink_raw(&self, raw: &Self::Raw) -> Vec<Self::Raw> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_raw(&raw.$idx) {
+                        let mut next = raw.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use crate::RngExt;
+    use core::ops::Range;
+
+    /// A `Vec` of `element` values with length drawn from `len` (half-open,
+    /// like `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Raw = Vec<S::Raw>;
+        type Value = Vec<S::Value>;
+
+        fn sample_raw(&self, rng: &mut SmallRng) -> Vec<S::Raw> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample_raw(rng)).collect()
+        }
+
+        fn realize(&self, raw: &Vec<S::Raw>) -> Vec<S::Value> {
+            raw.iter().map(|r| self.element.realize(r)).collect()
+        }
+
+        fn shrink_raw(&self, raw: &Vec<S::Raw>) -> Vec<Vec<S::Raw>> {
+            let mut out = Vec::new();
+            // Halve the length toward the minimum first: shorter inputs
+            // shrink the search space for the per-element passes below.
+            let min = self.len.start;
+            if raw.len() > min {
+                out.push(raw[..min].to_vec());
+                let half = min + (raw.len() - min) / 2;
+                if half > min && half < raw.len() {
+                    out.push(raw[..half].to_vec());
+                }
+            }
+            // Then halve individual elements (bounded, front-biased).
+            for (i, r) in raw.iter().enumerate().take(16) {
+                for cand in self.element.shrink_raw(r) {
+                    let mut next = raw.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union (`prop_oneof!`)
+// ---------------------------------------------------------------------------
+
+/// Object-safe sampling face of [`Strategy`], used to erase the branches of
+/// a [`Union`]. Blanket-implemented for every strategy.
+pub trait SampleValue<V> {
+    /// Sample and realize in one step.
+    fn sample_value(&self, rng: &mut SmallRng) -> V;
+}
+
+impl<S: Strategy> SampleValue<S::Value> for S {
+    fn sample_value(&self, rng: &mut SmallRng) -> S::Value {
+        let raw = self.sample_raw(rng);
+        self.realize(&raw)
+    }
+}
+
+/// A uniform choice between strategies with a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof). Branch raws are erased, so unions
+/// sample (and replay) deterministically but do not shrink.
+pub struct Union<V> {
+    branches: Vec<Box<dyn SampleValue<V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union of the given branches, each drawn with equal probability.
+    #[must_use]
+    pub fn new(branches: Vec<Box<dyn SampleValue<V>>>) -> Self {
+        assert!(!branches.is_empty(), "empty union");
+        Self { branches }
+    }
+}
+
+impl<V: Clone + fmt::Debug> Strategy for Union<V> {
+    type Raw = V;
+    type Value = V;
+
+    fn sample_raw(&self, rng: &mut SmallRng) -> V {
+        let branch = rng.random_range(0..self.branches.len());
+        self.branches[branch].sample_value(rng)
+    }
+
+    fn realize(&self, raw: &V) -> V {
+        raw.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    match parsed {
+        Ok(n) => Some(n),
+        Err(_) => panic!("{name} must be a u64, got {v:?}"),
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn run_once<S: Strategy>(
+    strategy: &S,
+    test: &impl Fn(S::Value) -> Result<(), String>,
+    raw: &S::Raw,
+) -> Result<(), String> {
+    let value = strategy.realize(raw);
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Run `test` over `cases` seeded random inputs from `strategy`.
+///
+/// Used through the [`props!`](crate::props) macro. Panics on the first
+/// failing case after shrinking it, printing the case seed; set
+/// `OMT_PROP_SEED` to that value to replay the single failing case, and
+/// `OMT_PROP_CASES` to override the case count.
+pub fn check<S: Strategy>(
+    name: &str,
+    cases: u32,
+    strategy: &S,
+    test: impl Fn(S::Value) -> Result<(), String>,
+) {
+    if let Some(seed) = env_u64("OMT_PROP_SEED") {
+        run_case(name, 0, 1, seed, strategy, &test);
+        return;
+    }
+    let cases = env_u64("OMT_PROP_CASES").map_or(cases, |n| n.max(1) as u32);
+    let mut seeds = SplitMix64::new(fnv1a(name));
+    for case in 0..cases {
+        run_case(name, case, cases, seeds.next_u64(), strategy, &test);
+    }
+}
+
+fn run_case<S: Strategy>(
+    name: &str,
+    case: u32,
+    cases: u32,
+    seed: u64,
+    strategy: &S,
+    test: &impl Fn(S::Value) -> Result<(), String>,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let raw = strategy.sample_raw(&mut rng);
+    let Err(first_error) = run_once(strategy, test, &raw) else {
+        return;
+    };
+
+    // Shrink: accept any halved candidate on which the test still fails.
+    let mut current = raw;
+    let mut error = first_error;
+    let mut steps = 0;
+    'shrinking: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink_raw(&current) {
+            steps += 1;
+            if let Err(e) = run_once(strategy, test, &candidate) {
+                current = candidate;
+                error = e;
+                continue 'shrinking;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break;
+    }
+
+    let short = name.rsplit("::").next().unwrap_or(name);
+    panic!(
+        "property '{name}' failed (case {case} of {cases})\n  \
+         replay: OMT_PROP_SEED={seed} cargo test {short}\n  \
+         shrunk input ({steps} shrink steps): {current:?}\n  \
+         {error}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: seeded random cases with shrinking and replay.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// running the body over [`DEFAULT_CASES`] sampled inputs (override with
+/// `#[cases(N)]` above the `fn`). Use [`prop_assert!`](crate::prop_assert),
+/// [`prop_assert_eq!`](crate::prop_assert_eq) and
+/// [`prop_assume!`](crate::prop_assume) inside the body.
+#[macro_export]
+macro_rules! props {
+    () => {};
+    (
+        #[cases($cases:expr)]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__props_one!($cases, $name, ($($arg in $strategy),+), $body);
+        $crate::props! { $($rest)* }
+    };
+    (
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__props_one!(
+            $crate::proptest::DEFAULT_CASES,
+            $name,
+            ($($arg in $strategy),+),
+            $body
+        );
+        $crate::props! { $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_one {
+    ($cases:expr, $name:ident, ($($arg:ident in $strategy:expr),+), $body:block) => {
+        #[test]
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            $crate::proptest::check(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cases,
+                &strategy,
+                |($($arg,)+)| -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    };
+}
+
+/// Like `assert!`, but reports the failing case to the harness so it can
+/// shrink and print the replay seed. Only usable inside [`props!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, for [`props!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: {:?} != {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its sampled input does not meet a
+/// precondition. Only usable inside [`props!`] bodies.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// A uniform choice between strategies sharing a value type. Branches are
+/// sampled with equal probability; see [`Union`].
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::proptest::Union::new(::std::vec![
+            $(::std::boxed::Box::new($branch) as ::std::boxed::Box<dyn $crate::proptest::SampleValue<_>>),+
+        ])
+    };
+}

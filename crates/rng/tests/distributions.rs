@@ -1,0 +1,142 @@
+//! Statistical and boundary behavior of the sampling facade.
+
+use omt_rng::rngs::SmallRng;
+use omt_rng::{Rng, RngExt, SeedableRng};
+
+#[test]
+fn unit_floats_are_in_range_and_uniform() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let n = 100_000;
+    let mut sum = 0.0;
+    for _ in 0..n {
+        let x: f64 = rng.random();
+        assert!((0.0..1.0).contains(&x));
+        sum += x;
+    }
+    let mean = sum / f64::from(n);
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+}
+
+#[test]
+fn integer_ranges_cover_bounds_exactly() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut seen = [false; 10];
+    for _ in 0..1_000 {
+        let v = rng.random_range(0..10usize);
+        seen[v] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "some residues never drawn: {seen:?}"
+    );
+
+    // Inclusive ranges reach the upper endpoint.
+    let mut top = false;
+    for _ in 0..200 {
+        if rng.random_range(0..=3u32) == 3 {
+            top = true;
+        }
+    }
+    assert!(top);
+
+    // Degenerate singleton.
+    assert_eq!(rng.random_range(5..=5i64), 5);
+}
+
+#[test]
+fn integer_ranges_are_unbiased_enough() {
+    // Chi-squared over 8 buckets of a non-power-of-two span.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let span = 24u64;
+    let trials = 240_000;
+    let mut counts = [0u32; 24];
+    for _ in 0..trials {
+        counts[rng.random_range(0..span) as usize] += 1;
+    }
+    let expected = trials as f64 / span as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = f64::from(c) - expected;
+            d * d / expected
+        })
+        .sum();
+    // 23 degrees of freedom: p = 0.999 quantile is ~49.7.
+    assert!(chi2 < 49.7, "chi-squared {chi2}");
+}
+
+#[test]
+fn signed_and_float_ranges_stay_inside() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..10_000 {
+        let v = rng.random_range(-7i32..5);
+        assert!((-7..5).contains(&v));
+        let f = rng.random_range(-1.0f64..1.0);
+        assert!((-1.0..1.0).contains(&f));
+        let g = rng.random_range(0.0f64..=2.5);
+        assert!((0.0..=2.5).contains(&g));
+    }
+}
+
+#[test]
+fn random_bool_matches_probability() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let n = 100_000;
+    let hits = (0..n).filter(|_| rng.random_bool(0.3)).count();
+    let freq = hits as f64 / f64::from(n);
+    assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    assert!((0..100).all(|_| !rng.random_bool(0.0)));
+    assert!((0..100).all(|_| rng.random_bool(1.0)));
+}
+
+#[test]
+#[should_panic(expected = "empty range")]
+fn empty_range_panics() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let _ = rng.random_range(3..3u32);
+}
+
+#[test]
+fn shuffle_is_a_permutation_and_choose_hits_all() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut v: Vec<u32> = (0..100).collect();
+    rng.shuffle(&mut v);
+    let mut sorted = v.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    assert_ne!(v, sorted, "a 100-element shuffle left the input sorted");
+
+    let items = [1u8, 2, 3];
+    let mut seen = [false; 3];
+    for _ in 0..200 {
+        let &c = rng.choose(&items).unwrap();
+        seen[(c - 1) as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s));
+    assert_eq!(rng.choose::<u8>(&[]), None);
+}
+
+#[test]
+fn dyn_rng_objects_work() {
+    // The geometric samplers rely on `&mut dyn Rng` receiving the full
+    // extension API.
+    let mut rng = SmallRng::seed_from_u64(8);
+    let dyn_rng: &mut dyn Rng = &mut rng;
+    let x: f64 = dyn_rng.random();
+    assert!((0.0..1.0).contains(&x));
+    let v = dyn_rng.random_range(0..10u64);
+    assert!(v < 10);
+}
+
+#[test]
+fn fill_bytes_covers_partial_chunks() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut buf = [0u8; 13];
+    rng.fill_bytes(&mut buf);
+    // Compare against the pinned stream: first 13 little-endian bytes.
+    let mut rng2 = SmallRng::seed_from_u64(9);
+    let a = rng2.next_u64().to_le_bytes();
+    let b = rng2.next_u64().to_le_bytes();
+    assert_eq!(&buf[..8], &a);
+    assert_eq!(&buf[8..], &b[..5]);
+}

@@ -1,0 +1,110 @@
+//! The property-test harness, tested with itself (passing properties) and
+//! directly (failure reporting, shrinking, replay).
+
+use omt_rng::proptest::{any, collection, Strategy};
+use omt_rng::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, props};
+
+props! {
+    #[cases(128)]
+    fn floats_stay_in_their_range(x in -5.0f64..5.0, y in 0.0f64..=1.0) {
+        prop_assert!((-5.0..5.0).contains(&x));
+        prop_assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[cases(128)]
+    fn tuples_and_maps_compose(
+        p in (0u32..100, 0u32..100).prop_map(|(a, b)| (a + b, a.min(b))),
+        flag in any::<bool>(),
+    ) {
+        let (sum, min) = p;
+        prop_assert!(min <= sum);
+        prop_assume!(flag);
+        prop_assert!(sum < 200);
+    }
+
+    #[cases(64)]
+    fn vectors_respect_length_bounds(v in collection::vec(0i32..10, 2..30)) {
+        prop_assert!(v.len() >= 2 && v.len() < 30);
+        prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+    }
+
+    #[cases(64)]
+    fn unions_draw_from_every_branch(x in prop_oneof![0u32..10, 100u32..110]) {
+        prop_assert!(x < 10 || (100u32..110).contains(&x));
+    }
+
+    fn default_case_count_applies(n in 0u64..1000) {
+        prop_assert_eq!(n, n);
+    }
+}
+
+/// A deliberately failing property, run manually: the panic must carry the
+/// replay seed and a shrunken input.
+#[test]
+fn failure_reports_seed_and_shrinks() {
+    let result = std::panic::catch_unwind(|| {
+        omt_rng::proptest::check(
+            "harness::failure_reports_seed_and_shrinks",
+            64,
+            &(0u64..1_000_000,),
+            |(x,)| {
+                if x >= 17 {
+                    Err("too big".to_string())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    });
+    let msg = *result
+        .expect_err("property must fail")
+        .downcast::<String>()
+        .expect("string panic payload");
+    assert!(msg.contains("OMT_PROP_SEED="), "no replay seed: {msg}");
+    assert!(msg.contains("too big"), "original error lost: {msg}");
+    // Shrink-by-halving from anywhere in [17, 1e6) converges to exactly 17.
+    assert!(msg.contains("(17,)"), "did not shrink to minimum: {msg}");
+}
+
+/// Shrinking hunts the failing component of a tuple while leaving the
+/// others at their simplest surviving values.
+#[test]
+fn shrinking_is_componentwise() {
+    let result = std::panic::catch_unwind(|| {
+        omt_rng::proptest::check(
+            "harness::shrinking_is_componentwise",
+            64,
+            &(0i64..100, -50.0f64..50.0),
+            |(a, b)| {
+                if a + (b.abs() as i64) >= 30 {
+                    Err("boundary crossed".to_string())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    });
+    let msg = *result
+        .expect_err("property must fail")
+        .downcast::<String>()
+        .expect("string panic payload");
+    assert!(msg.contains("shrunk input"), "no shrink report: {msg}");
+}
+
+/// Sampling is deterministic per (test name, case index): two checks with
+/// the same name see the same inputs.
+#[test]
+fn case_streams_are_deterministic() {
+    use std::sync::Mutex;
+    let collect = |out: &Mutex<Vec<u64>>| {
+        omt_rng::proptest::check("harness::case_streams", 32, &(any::<u64>(),), |(x,)| {
+            out.lock().unwrap().push(x);
+            Ok(())
+        });
+    };
+    let a = Mutex::new(Vec::new());
+    let b = Mutex::new(Vec::new());
+    collect(&a);
+    collect(&b);
+    assert_eq!(*a.lock().unwrap(), *b.lock().unwrap());
+}

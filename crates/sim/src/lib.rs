@@ -24,7 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::{Rng, RngExt, SeedableRng};
+use omt_rng::{Rng, RngExt, SeedableRng};
 
 use omt_tree::MulticastTree;
 
@@ -114,7 +114,7 @@ pub fn simulate<const D: usize>(tree: &MulticastTree<D>, config: &SimConfig) -> 
         "jitter needs an RNG; use simulate_with_rng"
     );
     // The RNG is never sampled when jitter is zero; any seed works.
-    let mut unused = rand::rngs::SmallRng::seed_from_u64(0);
+    let mut unused = omt_rng::rngs::SmallRng::seed_from_u64(0);
     simulate_with_rng(tree, config, &mut unused)
 }
 
@@ -375,8 +375,8 @@ mod tests {
 
     #[test]
     fn jitter_requires_rng_and_is_bounded() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use omt_rng::rngs::SmallRng;
+        use omt_rng::SeedableRng;
         let t = tree();
         let cfg = SimConfig {
             jitter: 0.1,
@@ -436,8 +436,8 @@ mod tests {
         use omt_baselines::star_tree;
         use omt_core::PolarGridBuilder;
         use omt_geom::{Disk, Region};
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use omt_rng::rngs::SmallRng;
+        use omt_rng::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(2);
         let pts = Disk::unit().sample_n(&mut rng, 2000);
         let cfg = SimConfig {
@@ -460,8 +460,8 @@ mod tests {
     fn failure_of_shallow_nodes_strands_more() {
         use omt_core::PolarGridBuilder;
         use omt_geom::{Disk, Region};
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+        use omt_rng::rngs::SmallRng;
+        use omt_rng::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(3);
         let pts = Disk::unit().sample_n(&mut rng, 1000);
         let t = PolarGridBuilder::new().build(Point2::ORIGIN, &pts).unwrap();

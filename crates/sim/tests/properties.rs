@@ -2,20 +2,19 @@
 
 use omt_core::PolarGridBuilder;
 use omt_geom::Point2;
+use omt_rng::proptest::{any, collection, Strategy};
+use omt_rng::{prop_assert, prop_assert_eq, props};
 use omt_sim::{simulate, simulate_with_failures, ChildOrder, SimConfig};
-use proptest::prelude::*;
 
 fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec(
+    collection::vec(
         (-2.0f64..2.0, -2.0f64..2.0).prop_map(|(x, y)| Point2::new([x, y])),
         1..120,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
+props! {
+    #[cases(48)]
     fn propagation_only_equals_tree_depths(points in arb_points()) {
         let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
         let rep = simulate(&tree, &SimConfig::propagation_only());
@@ -25,7 +24,7 @@ proptest! {
         prop_assert!((rep.makespan - tree.radius()).abs() < 1e-9);
     }
 
-    #[test]
+    #[cases(48)]
     fn costs_are_monotone(points in arb_points(), s in 0.0f64..0.1, p in 0.0f64..0.1) {
         let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
         let base = simulate(&tree, &SimConfig::propagation_only());
@@ -45,7 +44,7 @@ proptest! {
         prop_assert!(loaded.mean_arrival >= base.mean_arrival - 1e-12);
     }
 
-    #[test]
+    #[cases(48)]
     fn critical_first_never_loses_on_tiny_configs(points in arb_points(), s in 0.0f64..0.2) {
         // Critical-first is the optimal two-child schedule; with fanout <= 2
         // it must never lose to input order.
@@ -63,7 +62,7 @@ proptest! {
         prop_assert!(critical <= input + 1e-9, "{critical} vs {input}");
     }
 
-    #[test]
+    #[cases(48)]
     fn failures_partition_receivers(points in arb_points(), selector in any::<u64>()) {
         let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
         let failed: Vec<usize> = (0..tree.len()).filter(|i| (selector >> (i % 64)) & 1 == 1).collect();

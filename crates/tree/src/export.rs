@@ -228,8 +228,8 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_metrics_on_random_tree() {
-        use rand::rngs::SmallRng;
-        use rand::{RngExt, SeedableRng};
+        use omt_rng::rngs::SmallRng;
+        use omt_rng::{RngExt, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(5);
         let pts: Vec<Point2> = (0..150)
             .map(|_| Point2::new([rng.random_range(-2.0..2.0), rng.random_range(-2.0..2.0)]))

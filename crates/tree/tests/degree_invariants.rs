@@ -1,0 +1,146 @@
+//! Structural tree invariants checked from first principles — spanning,
+//! acyclic, degree-respecting — for out-degree bounds 2, 4, and 6,
+//! including the n = 0 and n = 1 edge cases. Unlike `MulticastTree::
+//! validate`, these checks recompute everything from the parent/children
+//! arrays, so a bug in the cached metrics cannot mask a structural bug.
+
+use omt_geom::Point2;
+use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
+
+/// Deterministic point cloud on a spiral: distinct radii and angles, no
+/// randomness needed.
+fn spiral_points(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| {
+            let t = 0.5 + i as f64 * 0.37;
+            Point2::new([t.cos() * t * 0.1, t.sin() * t * 0.1])
+        })
+        .collect()
+}
+
+/// Greedy breadth-first construction: attach each node to the earliest
+/// parent (source first, then node 0, 1, ...) with remaining degree
+/// budget. Fills every parent to the bound before moving on, so the
+/// degree limit is actually exercised.
+fn build_saturated(n: usize, max_deg: u32) -> MulticastTree<2> {
+    let mut b = TreeBuilder::new(Point2::ORIGIN, spiral_points(n)).max_out_degree(max_deg);
+    let mut used_source = 0;
+    let mut used = vec![0u32; n];
+    for i in 0..n {
+        if used_source < max_deg {
+            b.attach_to_source(i).unwrap();
+            used_source += 1;
+        } else {
+            let parent = (0..i).find(|&p| used[p] < max_deg).expect("parent budget");
+            b.attach(i, parent).unwrap();
+            used[parent] += 1;
+        }
+    }
+    b.finish().unwrap()
+}
+
+/// The tree spans all `n` nodes: walking parent pointers from every node
+/// reaches the source, and the union of children lists covers each node
+/// exactly once.
+fn assert_spanning(tree: &MulticastTree<2>) {
+    let n = tree.len();
+    let mut child_of = vec![0usize; n];
+    for c in tree.source_children() {
+        child_of[*c as usize] += 1;
+    }
+    for i in 0..n {
+        for c in tree.children(i) {
+            child_of[*c as usize] += 1;
+        }
+    }
+    assert!(
+        child_of.iter().all(|&k| k == 1),
+        "child lists must cover every node exactly once: {child_of:?}"
+    );
+}
+
+/// No cycles: following parent pointers from any node must reach the
+/// source within `n` hops.
+fn assert_acyclic(tree: &MulticastTree<2>) {
+    let n = tree.len();
+    for start in 0..n {
+        let mut node = start;
+        let mut hops = 0;
+        loop {
+            match tree.parent(node) {
+                ParentRef::Source => break,
+                ParentRef::Node(p) => {
+                    node = p;
+                    hops += 1;
+                    assert!(hops <= n, "cycle through node {start}");
+                }
+            }
+        }
+    }
+}
+
+/// Every node (and the source) stays within the out-degree bound.
+fn assert_degree_bound(tree: &MulticastTree<2>, max_deg: u32) {
+    assert!(
+        tree.source_out_degree() <= max_deg,
+        "source degree {} > {max_deg}",
+        tree.source_out_degree()
+    );
+    for i in 0..tree.len() {
+        assert!(
+            tree.out_degree(i) <= max_deg,
+            "node {i} degree {} > {max_deg}",
+            tree.out_degree(i)
+        );
+    }
+}
+
+#[test]
+fn saturated_trees_uphold_all_invariants() {
+    for max_deg in [2u32, 4, 6] {
+        // Sizes straddling the points where parents saturate.
+        for n in [0usize, 1, 2, 3, 7, 20, 63, 150] {
+            let tree = build_saturated(n, max_deg);
+            assert_eq!(tree.len(), n);
+            assert_spanning(&tree);
+            assert_acyclic(&tree);
+            assert_degree_bound(&tree, max_deg);
+            // The from-first-principles checks must agree with validate().
+            tree.validate(Some(max_deg)).unwrap();
+        }
+    }
+}
+
+#[test]
+fn empty_tree_has_no_nodes_and_zero_radius() {
+    let tree = build_saturated(0, 2);
+    assert_eq!(tree.len(), 0);
+    assert!(tree.is_empty());
+    assert!(tree.source_children().is_empty());
+    assert_eq!(tree.radius(), 0.0);
+    assert_eq!(tree.iter_bfs().count(), 0);
+}
+
+#[test]
+fn singleton_tree_hangs_off_the_source() {
+    for max_deg in [2u32, 4, 6] {
+        let tree = build_saturated(1, max_deg);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.parent(0), ParentRef::Source);
+        assert_eq!(tree.source_children(), &[0]);
+        assert!(tree.children(0).is_empty());
+        assert!((tree.radius() - tree.point(0).distance(&tree.source())).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn degree_two_chain_is_forced_once_source_saturates() {
+    // With bound 2, nodes 0 and 1 take the source slots; everyone else
+    // must descend. The greedy fill packs parents in order: node 0 gets
+    // children 2 and 3, node 1 gets 4 and 5, and so on.
+    let tree = build_saturated(6, 2);
+    assert_eq!(tree.source_children(), &[0, 1]);
+    assert_eq!(tree.children(0), &[2, 3]);
+    assert_eq!(tree.children(1), &[4, 5]);
+    assert_degree_bound(&tree, 2);
+}

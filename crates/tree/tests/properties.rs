@@ -3,10 +3,9 @@
 //! builder rejects every class of invalid operation.
 
 use omt_geom::Point2;
+use omt_rng::rngs::SmallRng;
+use omt_rng::{prop_assert, prop_assert_eq, props, RngExt, SeedableRng};
 use omt_tree::{ParentRef, TreeBuilder, TreeError};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 /// Builds a random valid tree over `n` points with the given degree bound,
 /// returning it together with the parent choices made.
@@ -54,8 +53,7 @@ fn random_valid_tree(
     (b.finish().unwrap(), parents)
 }
 
-proptest! {
-    #[test]
+props! {
     fn random_construction_always_validates(
         n in 0usize..120,
         max_deg in 1u32..8,
@@ -73,7 +71,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn children_lists_are_inverse_of_parents(n in 1usize..100, seed in 0u64..1000) {
         let (tree, _) = random_valid_tree(n, 3, seed);
         for i in 0..n {
@@ -90,7 +87,6 @@ proptest! {
         prop_assert_eq!(total_children + tree.source_children().len(), n);
     }
 
-    #[test]
     fn radius_equals_max_depth_and_bfs_is_monotone_in_hops(
         n in 1usize..100,
         seed in 0u64..1000,
@@ -104,7 +100,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn metrics_are_internally_consistent(n in 1usize..80, seed in 0u64..1000) {
         let (tree, _) = random_valid_tree(n, 4, seed);
         let m = tree.metrics();
@@ -120,7 +115,6 @@ proptest! {
         prop_assert_eq!(fan.iter().sum::<usize>(), n + 1); // + source
     }
 
-    #[test]
     fn distances_from_are_a_tree_metric(n in 2usize..40, seed in 0u64..300) {
         let (tree, _) = random_valid_tree(n, 3, seed);
         let d0 = tree.distances_from(0);

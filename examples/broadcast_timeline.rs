@@ -7,12 +7,12 @@
 //! cargo run --release --example broadcast_timeline
 //! ```
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::{RngExt, SeedableRng};
 use overlay_multicast::algo::PolarGridBuilder;
 use overlay_multicast::baselines::star_tree;
 use overlay_multicast::geom::{Disk, Point2, Region};
 use overlay_multicast::sim::{simulate, simulate_with_failures, simulate_with_rng, SimConfig};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(5);

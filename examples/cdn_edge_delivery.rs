@@ -15,14 +15,14 @@
 //! cargo run --release --example cdn_edge_delivery
 //! ```
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::SphereGridBuilder;
 use overlay_multicast::geom::Point3;
 use overlay_multicast::net::{
     distortion_report, gnp_embed, median_relative_error, stress, DelayMatrix, GnpConfig,
     WaxmanConfig,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(2004);

@@ -5,10 +5,10 @@
 //! cargo run --release --example convex_regions
 //! ```
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::PolarGridBuilder;
 use overlay_multicast::geom::{Annulus, BoxRegion, ConvexPolygon, Disk, Point, Point2, Region};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(17);

@@ -9,10 +9,10 @@
 //! cargo run --release --example live_membership
 //! ```
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::{RngExt, SeedableRng};
 use overlay_multicast::algo::{DynamicOverlay, PolarGridBuilder};
 use overlay_multicast::geom::{Disk, Point2, Region};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(42);

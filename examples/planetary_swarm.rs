@@ -10,10 +10,10 @@
 
 use std::time::Instant;
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::PolarGridBuilder;
 use overlay_multicast::geom::{Disk, Point2, Region};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("n, rings, delay, seconds, ns/host");

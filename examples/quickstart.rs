@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::PolarGridBuilder;
 use overlay_multicast::geom::{Disk, Point2, Region};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 10,000 hosts mapped to points uniform in the unit disk; the source

@@ -9,13 +9,13 @@
 //! cargo run --release --example video_conference
 //! ```
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::PolarGridBuilder;
 use overlay_multicast::baselines::{
     exact_tree, optimal_radius_lower_bound, random_tree, GreedyBuilder, GreedyObjective,
 };
 use overlay_multicast::geom::{Disk, Point2, Region};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(99);

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Canonical tier-1 verification: hermetic build + full test suite + format
+# check, entirely offline. Referenced from ROADMAP.md; CI and pre-merge
+# checks should run exactly this.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -18,13 +18,13 @@ use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::{Bisection, PolarGridBuilder};
 use overlay_multicast::baselines::{GreedyBuilder, GreedyObjective};
 use overlay_multicast::geom::{Ball, Point2, Region};
 use overlay_multicast::sim::{simulate, SimConfig};
 use overlay_multicast::tree::{MulticastTree, SvgOptions};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,7 +34,10 @@ fn main() -> ExitCode {
             // pipe) ends the program quietly instead of panicking.
             use std::io::Write;
             let mut stdout = std::io::stdout().lock();
-            match stdout.write_all(output.as_bytes()).and_then(|()| stdout.flush()) {
+            match stdout
+                .write_all(output.as_bytes())
+                .and_then(|()| stdout.flush())
+            {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
                 Err(e) => {
@@ -362,7 +365,7 @@ mod tests {
         assert!(run_strs(&["build", "--points", "/no/such/file"]).is_err());
         assert!(run_strs(&["random", "--n", "ten"]).is_err());
         assert!(run_strs(&["build", "--points"]).is_err()); // missing value
-        // Typo'd flags are rejected, not silently ignored.
+                                                            // Typo'd flags are rejected, not silently ignored.
         assert!(run_strs(&["random", "--n", "5", "--sed", "9"]).is_err());
     }
 

@@ -30,8 +30,8 @@
 //! ```
 //! use overlay_multicast::geom::{Disk, Point2, Region};
 //! use overlay_multicast::algo::PolarGridBuilder;
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use omt_rng::rngs::SmallRng;
+//! use omt_rng::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = SmallRng::seed_from_u64(7);
@@ -51,5 +51,6 @@ pub use omt_core as algo;
 pub use omt_experiments as experiments;
 pub use omt_geom as geom;
 pub use omt_net as net;
+pub use omt_rng as rng;
 pub use omt_sim as sim;
 pub use omt_tree as tree;

@@ -1,0 +1,45 @@
+//! Cross-machine reproducibility: a fixed seed pins the whole pipeline,
+//! from raw generator output through point sampling to the radius of the
+//! constructed tree. If any of these change, results claimed against the
+//! paper are no longer comparable across machines or commits.
+
+use overlay_multicast::algo::PolarGridBuilder;
+use overlay_multicast::geom::{Ball, Point2, Region};
+use overlay_multicast::rng::rngs::SmallRng;
+use overlay_multicast::rng::SeedableRng;
+
+/// The seed used for the pinned workload below.
+const SEED: u64 = 2004;
+
+/// Radius of the degree-6 Polar_Grid tree over 1,000 unit-disk points
+/// drawn from `SmallRng::seed_from_u64(2004)`. Pinned to the exact f64;
+/// any drift in the generator, the samplers, or the construction shows up
+/// as a bit-level difference here.
+const PINNED_RADIUS: f64 = 1.236_629_286_088_540_6;
+
+fn thousand_point_tree_radius() -> f64 {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let points: Vec<Point2> = Ball::<2>::unit().sample_n(&mut rng, 1_000);
+    PolarGridBuilder::new()
+        .build(Point2::ORIGIN, &points)
+        .unwrap()
+        .radius()
+}
+
+#[test]
+fn polar_grid_radius_is_pinned_for_seed_2004() {
+    let radius = thousand_point_tree_radius();
+    assert_eq!(
+        radius.to_bits(),
+        PINNED_RADIUS.to_bits(),
+        "radius {radius:.17} (bits {:#x}) drifted from pinned {PINNED_RADIUS:.17}",
+        radius.to_bits(),
+    );
+}
+
+#[test]
+fn identical_seeds_give_identical_radii_across_runs() {
+    let a = thousand_point_tree_radius();
+    let b = thousand_point_tree_radius();
+    assert_eq!(a.to_bits(), b.to_bits());
+}

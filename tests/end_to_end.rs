@@ -1,5 +1,7 @@
 //! Cross-crate integration: the full pipelines a downstream user would run.
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::{PolarGridBuilder, SphereGridBuilder};
 use overlay_multicast::baselines::{GreedyBuilder, GreedyObjective};
 use overlay_multicast::experiments::runner::{run_fig8_row, run_table1_row};
@@ -8,8 +10,6 @@ use overlay_multicast::net::{
     distortion_report, gnp_embed, stress, vivaldi_embed, DelayMatrix, GnpConfig, VivaldiConfig,
     WaxmanConfig,
 };
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Underlay → measurement → GNP embedding → tree → true-delay evaluation.
 #[test]
@@ -210,7 +210,10 @@ fn bisection3_end_to_end() {
     use overlay_multicast::geom::Ball;
     let mut rng = SmallRng::seed_from_u64(8);
     let pts = Ball::<3>::unit().sample_n(&mut rng, 300);
-    let tree = Bisection3::new(8).unwrap().build(Point3::ORIGIN, &pts).unwrap();
+    let tree = Bisection3::new(8)
+        .unwrap()
+        .build(Point3::ORIGIN, &pts)
+        .unwrap();
     tree.validate(Some(8)).unwrap();
     let m = tree.metrics();
     assert!(m.radius >= pts.iter().map(|p| p.norm()).fold(0.0, f64::max) - 1e-9);

@@ -2,47 +2,43 @@
 //! produce a valid spanning tree under its degree budget on *arbitrary*
 //! inputs, not just uniform disks.
 
+use omt_rng::proptest::{collection, Strategy};
+use omt_rng::rngs::SmallRng;
+use omt_rng::{prop_assert, prop_assert_eq, props, SeedableRng};
 use overlay_multicast::algo::{Bisection, NdGridBuilder, PolarGridBuilder, SphereGridBuilder};
 use overlay_multicast::baselines::{
     random_tree, star_tree, BandwidthLatency, GreedyBuilder, GreedyObjective,
 };
 use overlay_multicast::geom::{Point2, Point3};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Arbitrary finite 2-D points within a modest range (the algorithms are
 /// scale-invariant; the range just keeps arithmetic well-conditioned).
 fn arb_points2(max_len: usize) -> impl Strategy<Value = Vec<Point2>> {
-    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..max_len)
+    collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..max_len)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new([x, y])).collect())
 }
 
 fn arb_points3(max_len: usize) -> impl Strategy<Value = Vec<Point3>> {
-    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 0..max_len).prop_map(
-        |v| {
-            v.into_iter()
-                .map(|(x, y, z)| Point3::new([x, y, z]))
-                .collect()
-        },
-    )
+    collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), 0..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, z)| Point3::new([x, y, z]))
+            .collect()
+    })
 }
 
 fn arb_source2() -> impl Strategy<Value = Point2> {
     (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point2::new([x, y]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
+props! {
+    #[cases(64)]
     fn polar_grid_deg6_always_valid(points in arb_points2(200), source in arb_source2()) {
         let tree = PolarGridBuilder::new().build(source, &points).unwrap();
         prop_assert_eq!(tree.len(), points.len());
         tree.validate(Some(6)).unwrap();
     }
 
-    #[test]
+    #[cases(64)]
     fn polar_grid_deg2_always_valid(points in arb_points2(200), source in arb_source2()) {
         let tree = PolarGridBuilder::new()
             .max_out_degree(2)
@@ -51,7 +47,7 @@ proptest! {
         tree.validate(Some(2)).unwrap();
     }
 
-    #[test]
+    #[cases(64)]
     fn polar_grid_respects_analytic_bound(points in arb_points2(300)) {
         // Equation (7) holds for every input, not just uniform ones.
         let (tree, report) = PolarGridBuilder::new()
@@ -61,19 +57,19 @@ proptest! {
         prop_assert!(tree.radius() >= report.lower_bound - 1e-9);
     }
 
-    #[test]
+    #[cases(64)]
     fn bisection_deg4_always_valid(points in arb_points2(200), source in arb_source2()) {
         let tree = Bisection::new(4).unwrap().build(source, &points).unwrap();
         tree.validate(Some(4)).unwrap();
     }
 
-    #[test]
+    #[cases(64)]
     fn bisection_deg2_always_valid(points in arb_points2(200), source in arb_source2()) {
         let tree = Bisection::new(2).unwrap().build(source, &points).unwrap();
         tree.validate(Some(2)).unwrap();
     }
 
-    #[test]
+    #[cases(64)]
     fn sphere_grid_always_valid(points in arb_points3(200)) {
         let tree = SphereGridBuilder::new().build(Point3::ORIGIN, &points).unwrap();
         tree.validate(Some(10)).unwrap();
@@ -84,14 +80,14 @@ proptest! {
         tree2.validate(Some(2)).unwrap();
     }
 
-    #[test]
+    #[cases(64)]
     fn nd_grid_always_valid(points in arb_points3(150)) {
         // Exercise the general-dimension path with D = 3.
         let tree = NdGridBuilder::new().build(Point3::ORIGIN, &points).unwrap();
         tree.validate(Some(2)).unwrap();
     }
 
-    #[test]
+    #[cases(64)]
     fn baselines_always_valid(points in arb_points2(120), seed in 0u64..1000) {
         let mut rng = SmallRng::seed_from_u64(seed);
         for deg in [1u32, 2, 6] {
@@ -119,7 +115,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(64)]
     fn star_radius_lower_bounds_every_builder(points in arb_points2(100)) {
         let lb = star_tree(Point2::ORIGIN, &points).unwrap().radius();
         for radius in [
@@ -135,7 +131,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(64)]
     fn tree_depth_cache_matches_path_recomputation(points in arb_points2(80)) {
         let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
         for i in 0..tree.len() {
@@ -151,7 +147,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(64)]
     fn traversals_cover_every_node(points in arb_points2(150)) {
         let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
         let mut bfs: Vec<usize> = tree.iter_bfs().collect();
@@ -163,7 +159,7 @@ proptest! {
         prop_assert_eq!(dfs, expect);
     }
 
-    #[test]
+    #[cases(64)]
     fn diameter_at_least_radius(points in arb_points2(100)) {
         let tree = PolarGridBuilder::new().build(Point2::ORIGIN, &points).unwrap();
         prop_assert!(tree.diameter() >= tree.radius() - 1e-12);

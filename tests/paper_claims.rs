@@ -1,10 +1,10 @@
 //! Theorem-level claims of the paper, checked end-to-end across crates.
 
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
 use overlay_multicast::algo::{bounds, Bisection, PolarGridBuilder, SphereGridBuilder};
 use overlay_multicast::baselines::{exact_tree, optimal_radius_lower_bound};
 use overlay_multicast::geom::{Ball, Disk, Point2, Point3, Region};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn disk_points(n: usize, seed: u64) -> Vec<Point2> {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -137,7 +137,7 @@ fn near_linear_running_time() {
 /// frequency.
 #[test]
 fn occupancy_lemma_empirical() {
-    use rand::RngExt;
+    use omt_rng::RngExt;
     let mut rng = SmallRng::seed_from_u64(77);
     let n = 4096u64;
     let buckets = 64u64; // n^(1/2)
