@@ -1,5 +1,7 @@
 //! Table I, "CPU Sec" columns: construction time of the degree-6 and
-//! degree-2 polar-grid trees per problem size.
+//! degree-2 polar-grid trees per problem size, plus a thread-count
+//! comparison of the parallel per-cell bisection path at the largest
+//! size (the emitted JSON records the ambient `threads` setting).
 
 use omt_bench::disk_points;
 use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
@@ -8,7 +10,7 @@ use omt_core::PolarGridBuilder;
 use omt_geom::Point2;
 
 fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+    let mut group = c.benchmark_group("table1_construction");
     group.sample_size(10);
     for n in [1_000usize, 10_000, 100_000] {
         let points = disk_points(n, n as u64);
@@ -21,6 +23,20 @@ fn bench_table1(c: &mut Criterion) {
             let builder = PolarGridBuilder::new().max_out_degree(2);
             b.iter(|| builder.build(Point2::ORIGIN, pts).unwrap());
         });
+    }
+    // Explicit thread-count comparison at the largest size; the parallel
+    // path is bit-identical to sequential, so only the timing differs.
+    let n = 100_000usize;
+    let points = disk_points(n, n as u64);
+    group.throughput(Throughput::Elements(n as u64));
+    for threads in [1usize, 2, 4] {
+        for (deg, name) in [(6u32, "deg6"), (2, "deg2")] {
+            let id = BenchmarkId::new(format!("{name}-t{threads}"), n);
+            group.bench_with_input(id, &points, |b, pts| {
+                let builder = PolarGridBuilder::new().max_out_degree(deg).threads(threads);
+                b.iter(|| builder.build(Point2::ORIGIN, pts).unwrap());
+            });
+        }
     }
     group.finish();
 }

@@ -236,6 +236,10 @@ impl BenchmarkGroup<'_> {
         out.push_str("  \"schema\": \"omt-bench/v1\",\n");
         out.push_str(&format!("  \"group\": {},\n", json_str(&self.name)));
         out.push_str(&format!("  \"quick\": {},\n", self.criterion.quick));
+        out.push_str(&format!(
+            "  \"threads\": {},\n",
+            omt_par::effective_threads()
+        ));
         out.push_str("  \"benches\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             let throughput = match s.throughput {

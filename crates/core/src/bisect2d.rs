@@ -24,20 +24,10 @@ use omt_geom::{Point2, PolarPoint, RingSegment};
 use omt_tree::{MulticastTree, ParentRef, TreeBuilder, TreeError};
 
 pub(crate) use crate::fanout::fanout_chain;
+pub(crate) use crate::sink::attach;
 
 use crate::error::BuildError;
-
-/// Attaches `child` under `parent` in the builder.
-pub(crate) fn attach(
-    b: &mut TreeBuilder<2>,
-    child: usize,
-    parent: ParentRef,
-) -> Result<(), TreeError> {
-    match parent {
-        ParentRef::Source => b.attach_to_source(child),
-        ParentRef::Node(p) => b.attach(child, p),
-    }
-}
+use crate::sink::AttachSink;
 
 /// Removes and returns the index in `idx` whose radius is closest to `q`
 /// (the paper's representative rule: "radius closest to the radius of the
@@ -62,8 +52,8 @@ fn take_closest_radius(polar: &[PolarPoint], idx: &mut Vec<u32>, q: f64) -> u32 
 /// `polar` holds the polar coordinates of **all** builder points in the
 /// frame the segment lives in; `src_radius` is the local source's radius in
 /// that frame.
-pub(crate) fn bisect4(
-    b: &mut TreeBuilder<2>,
+pub(crate) fn bisect4<S: AttachSink>(
+    b: &mut S,
     polar: &[PolarPoint],
     seg: RingSegment,
     src: ParentRef,
@@ -121,8 +111,8 @@ impl Axis {
 /// node: the source adopts the two points with radius closest to its own,
 /// which then take over the two halves of the segment (split along
 /// alternating axes — the binary refinement of the paper's 4-way step).
-pub(crate) fn bisect2(
-    b: &mut TreeBuilder<2>,
+pub(crate) fn bisect2<S: AttachSink>(
+    b: &mut S,
     polar: &[PolarPoint],
     seg: RingSegment,
     src: ParentRef,

@@ -7,18 +7,9 @@ use omt_geom::{ShellCell, SphericalPoint};
 use omt_tree::{ParentRef, TreeBuilder, TreeError};
 
 pub(crate) use crate::fanout::fanout_chain as fanout_chain3;
+pub(crate) use crate::sink::attach as attach3;
 
-/// Attaches `child` under `parent` in a 3-D builder.
-pub(crate) fn attach3(
-    b: &mut TreeBuilder<3>,
-    child: usize,
-    parent: ParentRef,
-) -> Result<(), TreeError> {
-    match parent {
-        ParentRef::Source => b.attach_to_source(child),
-        ParentRef::Node(p) => b.attach(child, p),
-    }
-}
+use crate::sink::AttachSink;
 
 /// Removes and returns the index whose radius is closest to `q`.
 fn take_closest_radius(sph: &[SphericalPoint], idx: &mut Vec<u32>, q: f64) -> u32 {
@@ -37,8 +28,8 @@ fn take_closest_radius(sph: &[SphericalPoint], idx: &mut Vec<u32>, q: f64) -> u3
 
 /// Connects every point in `idx` below `src` with out-degree at most 8 per
 /// node, following the 8-way octant split of the shell cell.
-pub(crate) fn bisect8(
-    b: &mut TreeBuilder<3>,
+pub(crate) fn bisect8<S: AttachSink>(
+    b: &mut S,
     sph: &[SphericalPoint],
     cell: ShellCell,
     src: ParentRef,
@@ -95,8 +86,8 @@ impl Axis3 {
 /// Connects every point in `idx` below `src` with out-degree at most 2 per
 /// node: binary splits along cycling axes, two carriers per step chosen by
 /// radius proximity to the local source.
-pub(crate) fn bisect2_3d(
-    b: &mut TreeBuilder<3>,
+pub(crate) fn bisect2_3d<S: AttachSink>(
+    b: &mut S,
     sph: &[SphericalPoint],
     cell: ShellCell,
     src: ParentRef,

@@ -78,6 +78,7 @@ mod kselect;
 mod min_diameter;
 mod ndim;
 mod polar_grid;
+mod sink;
 mod sphere_grid;
 
 pub use bisect2d::Bisection;

@@ -24,6 +24,9 @@
 use omt_geom::{Point2, PolarPoint};
 use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
 
+use omt_geom::RingSegment;
+use omt_tree::TreeError;
+
 use crate::bisect2d::{attach, bisect2, bisect4, fanout_chain};
 use crate::bounds::upper_bound_eq7;
 use crate::error::BuildError;
@@ -31,6 +34,72 @@ use crate::grid2::PolarGrid2;
 use crate::kselect::{
     bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
 };
+use crate::sink::EdgeList;
+
+/// One deferred in-cell bisection, captured in deterministic cell order
+/// during core wiring. Cells are independent by construction (a bisection
+/// only touches the cell's own members under its own local root), so the
+/// jobs can run on any thread: each one is a pure function of this data
+/// plus the shared read-only polar coordinates.
+struct CellJob {
+    seg: RingSegment,
+    parent: ParentRef,
+    q: f64,
+    idx: Vec<u32>,
+}
+
+/// Runs the per-cell bisections. With one thread each job runs directly
+/// against the builder, in cell order — the sequential path. With more,
+/// every job emits a private edge list on a worker thread and the lists
+/// are replayed in the same cell order, producing the identical edge set
+/// and therefore a bit-identical tree (see `crate::sink`).
+fn run_cell_jobs(
+    builder: &mut TreeBuilder<2>,
+    polar: &[PolarPoint],
+    jobs: Vec<CellJob>,
+    binary: bool,
+    threads: usize,
+) -> Result<(), TreeError> {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            if binary {
+                bisect2(builder, polar, job.seg, job.parent, job.q, job.idx)?;
+            } else {
+                bisect4(builder, polar, job.seg, job.parent, job.q, job.idx)?;
+            }
+        }
+        return Ok(());
+    }
+    let lists = omt_par::par_map_indexed(&jobs, threads, |_, job| {
+        let mut edges = EdgeList::default();
+        let result = if binary {
+            bisect2(
+                &mut edges,
+                polar,
+                job.seg,
+                job.parent,
+                job.q,
+                job.idx.clone(),
+            )
+        } else {
+            bisect4(
+                &mut edges,
+                polar,
+                job.seg,
+                job.parent,
+                job.q,
+                job.idx.clone(),
+            )
+        };
+        result.map(|()| edges.0)
+    });
+    for list in lists {
+        for (child, parent) in list? {
+            attach(builder, child as usize, parent)?;
+        }
+    }
+    Ok(())
+}
 
 /// How a cell representative is chosen — the paper uses the point closest
 /// to the disk center ("on the inner arc of the segment"); the alternatives
@@ -99,6 +168,7 @@ pub struct PolarGridBuilder {
     max_out_degree: u32,
     rings_override: Option<u32>,
     rep_strategy: RepStrategy,
+    threads: Option<usize>,
 }
 
 impl Default for PolarGridBuilder {
@@ -115,6 +185,7 @@ impl PolarGridBuilder {
             max_out_degree: 6,
             rings_override: None,
             rep_strategy: RepStrategy::InnerArcMid,
+            threads: None,
         }
     }
 
@@ -139,6 +210,19 @@ impl PolarGridBuilder {
     #[must_use]
     pub fn representative_strategy(mut self, strategy: RepStrategy) -> Self {
         self.rep_strategy = strategy;
+        self
+    }
+
+    /// Pins the worker-thread count for the per-cell bisection phase.
+    ///
+    /// `1` forces the sequential path (no threads are spawned). Unset, the
+    /// builder follows `OMT_THREADS` / the machine's available parallelism.
+    /// The constructed tree is **bit-identical for every thread count** —
+    /// cells are independent and results join in deterministic cell order —
+    /// so this knob only affects wall-clock, never results.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -262,20 +346,26 @@ impl PolarGridBuilder {
         let cell_members = |c: usize| &members[counts[c] as usize..counts[c + 1] as usize];
         let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
 
-        // Wire the tree ring by ring.
+        // Wire the tree in two passes: a sequential core pass (cheap —
+        // O(n) representative picks plus one edge per occupied cell) that
+        // captures one bisection job per cell, then the job pass, which is
+        // where the algorithm spends its time and where the worker pool
+        // pays off. Cell order is fixed by the (ring, seg) sweep, so the
+        // job list — and with it the final edge set — is the same for
+        // every thread count.
+        let threads = omt_par::resolve_threads(self.threads);
         let mut core_delay = 0.0f64;
+        let mut jobs: Vec<CellJob> = Vec::new();
         if deg6 {
             // rep_ref[cell] = the representative the cell's children attach to.
             let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
             // Ring 0: the source is the representative; bisect the rest.
-            bisect4(
-                &mut builder,
-                &polar,
-                grid.segment(0, 0),
-                ParentRef::Source,
-                0.0,
-                cell_members(0).to_vec(),
-            )?;
+            jobs.push(CellJob {
+                seg: grid.segment(0, 0),
+                parent: ParentRef::Source,
+                q: 0.0,
+                idx: cell_members(0).to_vec(),
+            });
             for ring in 1..=k {
                 for seg in 0..(1u64 << ring) {
                     let c = cell_index(ring, seg);
@@ -293,16 +383,15 @@ impl PolarGridBuilder {
                         core_delay.max(builder.depth_of(rep as usize).expect("just attached"));
                     rep_ref[c] = ParentRef::Node(rep as usize);
                     let rest: Vec<u32> = mem.iter().copied().filter(|&p| p != rep).collect();
-                    bisect4(
-                        &mut builder,
-                        &polar,
-                        grid.segment(ring, seg),
-                        ParentRef::Node(rep as usize),
-                        polar[rep as usize].radius,
-                        rest,
-                    )?;
+                    jobs.push(CellJob {
+                        seg: grid.segment(ring, seg),
+                        parent: ParentRef::Node(rep as usize),
+                        q: polar[rep as usize].radius,
+                        idx: rest,
+                    });
                 }
             }
+            run_cell_jobs(&mut builder, &polar, jobs, false, threads)?;
         } else {
             // Degree-2 wiring (Section IV-A): each cell exposes a
             // "connector" with spare budget 2 that adopts the
@@ -314,7 +403,7 @@ impl PolarGridBuilder {
                 let has_core_children = k >= 1
                     && (!cell_members(cell_index(1, 0)).is_empty()
                         || !cell_members(cell_index(1, 1)).is_empty());
-                connector[0] = self.wire_cell_deg2(
+                let (conn, job) = self.wire_cell_deg2(
                     &mut builder,
                     &polar,
                     &grid,
@@ -326,6 +415,8 @@ impl PolarGridBuilder {
                     None,
                     has_core_children,
                 )?;
+                connector[0] = conn;
+                jobs.extend(job);
             }
             for ring in 1..=k {
                 for seg in 0..(1u64 << ring) {
@@ -348,7 +439,7 @@ impl PolarGridBuilder {
                             .iter()
                             .any(|&(r, s)| !cell_members(cell_index(r, s)).is_empty()),
                     };
-                    connector[c] = self.wire_cell_deg2(
+                    let (conn, job) = self.wire_cell_deg2(
                         &mut builder,
                         &polar,
                         &grid,
@@ -360,8 +451,11 @@ impl PolarGridBuilder {
                         Some(rep),
                         has_core_children,
                     )?;
+                    connector[c] = conn;
+                    jobs.extend(job);
                 }
             }
+            run_cell_jobs(&mut builder, &polar, jobs, true, threads)?;
         }
 
         let tree = builder.finish()?;
@@ -415,9 +509,11 @@ impl PolarGridBuilder {
         }
     }
 
-    /// Wires the inside of one cell in the degree-2 scheme and returns the
-    /// cell's connector — the node (or source) with ≥ 2 spare out-links
-    /// that will adopt the representatives of the occupied child cells.
+    /// Wires the scaffold of one cell in the degree-2 scheme and returns
+    /// the cell's connector — the node (or source) with ≥ 2 spare
+    /// out-links that will adopt the representatives of the occupied child
+    /// cells — plus the deferred in-cell bisection job, if the cell has
+    /// enough points to need one.
     ///
     /// `rep` is `None` for the inner disk (the source is the
     /// representative there and `rep_ref` is `ParentRef::Source`).
@@ -434,7 +530,7 @@ impl PolarGridBuilder {
         members: &[u32],
         rep: Option<u32>,
         has_core_children: bool,
-    ) -> Result<ParentRef, BuildError> {
+    ) -> Result<(ParentRef, Option<CellJob>), BuildError> {
         // The points still to be wired inside the cell.
         let mut rest: Vec<u32> = members
             .iter()
@@ -445,14 +541,14 @@ impl PolarGridBuilder {
             0 => {
                 // Case 1: the representative alone (or the bare source for
                 // the inner disk); it has both links spare.
-                Ok(rep_ref)
+                Ok((rep_ref, None))
             }
             1 => {
                 // Case 2: rep -> other; the other point becomes the
                 // connector with both links spare.
                 let other = rest[0];
                 attach(builder, other as usize, rep_ref)?;
-                Ok(ParentRef::Node(other as usize))
+                Ok((ParentRef::Node(other as usize), None))
             }
             _ => {
                 // Case 3: rep -> {bisection source, connector}; the
@@ -487,6 +583,7 @@ impl PolarGridBuilder {
                 } else {
                     None
                 };
+                let mut job = None;
                 if !rest.is_empty() {
                     // Bisection source: radius closest to the representative.
                     let pos = rest
@@ -501,16 +598,14 @@ impl PolarGridBuilder {
                         .expect("nonempty");
                     let s = rest.swap_remove(pos);
                     attach(builder, s as usize, rep_ref)?;
-                    bisect2(
-                        builder,
-                        polar,
-                        grid.segment(ring, seg),
-                        ParentRef::Node(s as usize),
-                        polar[s as usize].radius,
-                        rest,
-                    )?;
+                    job = Some(CellJob {
+                        seg: grid.segment(ring, seg),
+                        parent: ParentRef::Node(s as usize),
+                        q: polar[s as usize].radius,
+                        idx: rest,
+                    });
                 }
-                Ok(connector.unwrap_or(rep_ref))
+                Ok((connector.unwrap_or(rep_ref), job))
             }
         }
     }

@@ -1,0 +1,83 @@
+//! Edge sinks: the seam that lets one bisection implementation serve both
+//! the sequential and the parallel construction paths.
+//!
+//! The bisection subroutines are pure functions of their inputs — they
+//! never read back from the tree under construction — so *what* they
+//! attach is independent of *where* the attachments go. Sequentially they
+//! write straight into the [`TreeBuilder`]; in the parallel path each cell
+//! writes into a private [`EdgeList`] on a worker thread, and the lists
+//! are replayed into the builder in deterministic cell order afterwards.
+//! Either way the edge set is identical, so the finished tree is
+//! bit-identical (parent, depth, hop and CSR arrays only depend on the
+//! edge set, not on attachment order).
+
+use omt_tree::{ParentRef, TreeBuilder, TreeError};
+
+/// Accepts `child -> parent` attachments emitted by the bisection
+/// subroutines.
+pub(crate) trait AttachSink {
+    /// Records (or performs) the attachment of `child` under `parent`.
+    fn attach_edge(&mut self, child: u32, parent: ParentRef) -> Result<(), TreeError>;
+}
+
+impl<const D: usize> AttachSink for TreeBuilder<D> {
+    fn attach_edge(&mut self, child: u32, parent: ParentRef) -> Result<(), TreeError> {
+        match parent {
+            ParentRef::Source => self.attach_to_source(child as usize),
+            ParentRef::Node(p) => self.attach(child as usize, p),
+        }
+    }
+}
+
+/// A deferred edge list: infallible recording, validated later when the
+/// list is replayed into the real builder.
+#[derive(Debug, Default)]
+pub(crate) struct EdgeList(pub Vec<(u32, ParentRef)>);
+
+impl AttachSink for EdgeList {
+    fn attach_edge(&mut self, child: u32, parent: ParentRef) -> Result<(), TreeError> {
+        self.0.push((child, parent));
+        Ok(())
+    }
+}
+
+/// Attaches `child` under `parent` in any sink (the shared helper the
+/// 2-D and 3-D construction code calls).
+pub(crate) fn attach<S: AttachSink + ?Sized>(
+    b: &mut S,
+    child: usize,
+    parent: ParentRef,
+) -> Result<(), TreeError> {
+    b.attach_edge(child as u32, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_geom::Point2;
+
+    #[test]
+    fn edge_list_records_in_emission_order() {
+        let mut list = EdgeList::default();
+        attach(&mut list, 3, ParentRef::Source).unwrap();
+        attach(&mut list, 1, ParentRef::Node(3)).unwrap();
+        assert_eq!(
+            list.0,
+            vec![(3, ParentRef::Source), (1, ParentRef::Node(3))]
+        );
+    }
+
+    #[test]
+    fn builder_sink_matches_direct_calls() {
+        let pts = vec![Point2::new([1.0, 0.0]), Point2::new([2.0, 0.0])];
+        let mut direct = TreeBuilder::new(Point2::ORIGIN, pts.clone());
+        direct.attach_to_source(0).unwrap();
+        direct.attach(1, 0).unwrap();
+
+        let mut via_sink = TreeBuilder::new(Point2::ORIGIN, pts);
+        attach(&mut via_sink, 0, ParentRef::Source).unwrap();
+        attach(&mut via_sink, 1, ParentRef::Node(0)).unwrap();
+
+        assert_eq!(direct.finish().unwrap(), via_sink.finish().unwrap());
+    }
+}

@@ -3,8 +3,8 @@
 //! cell representatives, and 8-way bisection inside cells — out-degree 10
 //! (2 core + 8 bisection links), or the degree-2 wiring.
 
-use omt_geom::{Point3, SphericalPoint};
-use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
+use omt_geom::{Point3, ShellCell, SphericalPoint};
+use omt_tree::{MulticastTree, ParentRef, TreeBuilder, TreeError};
 
 use crate::bisect3d::{attach3, bisect2_3d, bisect8, fanout_chain3};
 use crate::error::BuildError;
@@ -13,6 +13,68 @@ use crate::kselect::{
     bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
 };
 use crate::polar_grid::{PolarGridReport, RepStrategy};
+use crate::sink::EdgeList;
+
+/// One deferred in-cell bisection (the 3-D twin of the 2-D `CellJob`):
+/// pure data, independent across cells, safe to run on any thread.
+struct CellJob3 {
+    cell: ShellCell,
+    parent: ParentRef,
+    q: f64,
+    idx: Vec<u32>,
+}
+
+/// Runs the per-cell bisections: directly against the builder with one
+/// thread, or via private per-cell edge lists replayed in cell order with
+/// more. Both paths produce the identical edge set and therefore a
+/// bit-identical tree (see `crate::sink`).
+fn run_cell_jobs3(
+    builder: &mut TreeBuilder<3>,
+    sph: &[SphericalPoint],
+    jobs: Vec<CellJob3>,
+    binary: bool,
+    threads: usize,
+) -> Result<(), TreeError> {
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            if binary {
+                bisect2_3d(builder, sph, job.cell, job.parent, job.q, job.idx)?;
+            } else {
+                bisect8(builder, sph, job.cell, job.parent, job.q, job.idx)?;
+            }
+        }
+        return Ok(());
+    }
+    let lists = omt_par::par_map_indexed(&jobs, threads, |_, job| {
+        let mut edges = EdgeList::default();
+        let result = if binary {
+            bisect2_3d(
+                &mut edges,
+                sph,
+                job.cell,
+                job.parent,
+                job.q,
+                job.idx.clone(),
+            )
+        } else {
+            bisect8(
+                &mut edges,
+                sph,
+                job.cell,
+                job.parent,
+                job.q,
+                job.idx.clone(),
+            )
+        };
+        result.map(|()| edges.0)
+    });
+    for list in lists {
+        for (child, parent) in list? {
+            attach3(builder, child as usize, parent)?;
+        }
+    }
+    Ok(())
+}
 
 /// Builder for the 3-D `Polar_Grid` algorithm over points in a ball.
 ///
@@ -44,6 +106,7 @@ pub struct SphereGridBuilder {
     max_out_degree: u32,
     rings_override: Option<u32>,
     rep_strategy: RepStrategy,
+    threads: Option<usize>,
 }
 
 impl Default for SphereGridBuilder {
@@ -60,6 +123,7 @@ impl SphereGridBuilder {
             max_out_degree: 10,
             rings_override: None,
             rep_strategy: RepStrategy::InnerArcMid,
+            threads: None,
         }
     }
 
@@ -83,6 +147,16 @@ impl SphereGridBuilder {
     #[must_use]
     pub fn representative_strategy(mut self, strategy: RepStrategy) -> Self {
         self.rep_strategy = strategy;
+        self
+    }
+
+    /// Pins the worker-thread count for the per-cell bisection phase
+    /// (`1` = sequential path; unset = `OMT_THREADS` / available
+    /// parallelism). Trees are bit-identical for every thread count; see
+    /// [`PolarGridBuilder::threads`](crate::PolarGridBuilder::threads).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -174,17 +248,19 @@ impl SphereGridBuilder {
         let cell_members = |c: usize| &members[counts[c] as usize..counts[c + 1] as usize];
         let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
 
+        // Two passes, exactly like the 2-D builder: sequential core
+        // wiring capturing one bisection job per cell, then the jobs.
+        let threads = omt_par::resolve_threads(self.threads);
         let mut core_delay = 0.0f64;
+        let mut jobs: Vec<CellJob3> = Vec::new();
         if deg10 {
             let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
-            bisect8(
-                &mut builder,
-                &sph,
-                grid.cell(0, 0),
-                ParentRef::Source,
-                0.0,
-                cell_members(0).to_vec(),
-            )?;
+            jobs.push(CellJob3 {
+                cell: grid.cell(0, 0),
+                parent: ParentRef::Source,
+                q: 0.0,
+                idx: cell_members(0).to_vec(),
+            });
             for ring in 1..=k {
                 for seg in 0..(1u64 << ring) {
                     let c = cell_index(ring, seg);
@@ -204,16 +280,15 @@ impl SphereGridBuilder {
                         core_delay.max(builder.depth_of(rep as usize).expect("just attached"));
                     rep_ref[c] = ParentRef::Node(rep as usize);
                     let rest: Vec<u32> = mem.iter().copied().filter(|&p| p != rep).collect();
-                    bisect8(
-                        &mut builder,
-                        &sph,
-                        grid.cell(ring, seg),
-                        ParentRef::Node(rep as usize),
-                        sph[rep as usize].radius,
-                        rest,
-                    )?;
+                    jobs.push(CellJob3 {
+                        cell: grid.cell(ring, seg),
+                        parent: ParentRef::Node(rep as usize),
+                        q: sph[rep as usize].radius,
+                        idx: rest,
+                    });
                 }
             }
+            run_cell_jobs3(&mut builder, &sph, jobs, false, threads)?;
         } else {
             let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
             {
@@ -221,7 +296,7 @@ impl SphereGridBuilder {
                 let has_core_children = k >= 1
                     && (!cell_members(cell_index(1, 0)).is_empty()
                         || !cell_members(cell_index(1, 1)).is_empty());
-                connector[0] = wire_cell_deg2_3d(
+                let (conn, job) = wire_cell_deg2_3d(
                     self.rep_strategy,
                     &mut builder,
                     &sph,
@@ -234,6 +309,8 @@ impl SphereGridBuilder {
                     None,
                     has_core_children,
                 )?;
+                connector[0] = conn;
+                jobs.extend(job);
             }
             for ring in 1..=k {
                 for seg in 0..(1u64 << ring) {
@@ -258,7 +335,7 @@ impl SphereGridBuilder {
                             .iter()
                             .any(|&(r, s)| !cell_members(cell_index(r, s)).is_empty()),
                     };
-                    connector[c] = wire_cell_deg2_3d(
+                    let (conn, job) = wire_cell_deg2_3d(
                         self.rep_strategy,
                         &mut builder,
                         &sph,
@@ -271,8 +348,11 @@ impl SphereGridBuilder {
                         Some(rep),
                         has_core_children,
                     )?;
+                    connector[c] = conn;
+                    jobs.extend(job);
                 }
             }
+            run_cell_jobs3(&mut builder, &sph, jobs, true, threads)?;
         }
 
         let tree = builder.finish()?;
@@ -344,7 +424,7 @@ fn pick_rep(
 }
 
 /// Degree-2 in-cell wiring (3-D twin of the 2-D version): returns the
-/// cell's connector.
+/// cell's connector and the deferred in-cell bisection job, if any.
 #[allow(clippy::too_many_arguments)]
 fn wire_cell_deg2_3d(
     strategy: RepStrategy,
@@ -358,7 +438,7 @@ fn wire_cell_deg2_3d(
     members: &[u32],
     rep: Option<u32>,
     has_core_children: bool,
-) -> Result<ParentRef, BuildError> {
+) -> Result<(ParentRef, Option<CellJob3>), BuildError> {
     let _ = strategy;
     let mut rest: Vec<u32> = members
         .iter()
@@ -366,11 +446,11 @@ fn wire_cell_deg2_3d(
         .filter(|&p| Some(p) != rep)
         .collect();
     match rest.len() {
-        0 => Ok(rep_ref),
+        0 => Ok((rep_ref, None)),
         1 => {
             let other = rest[0];
             attach3(builder, other as usize, rep_ref)?;
-            Ok(ParentRef::Node(other as usize))
+            Ok((ParentRef::Node(other as usize), None))
         }
         _ => {
             let connector = if has_core_children {
@@ -396,6 +476,7 @@ fn wire_cell_deg2_3d(
             } else {
                 None
             };
+            let mut job = None;
             if !rest.is_empty() {
                 let pos = rest
                     .iter()
@@ -409,16 +490,14 @@ fn wire_cell_deg2_3d(
                     .expect("nonempty");
                 let s = rest.swap_remove(pos);
                 attach3(builder, s as usize, rep_ref)?;
-                bisect2_3d(
-                    builder,
-                    sph,
-                    grid.cell(ring, seg),
-                    ParentRef::Node(s as usize),
-                    sph[s as usize].radius,
-                    rest,
-                )?;
+                job = Some(CellJob3 {
+                    cell: grid.cell(ring, seg),
+                    parent: ParentRef::Node(s as usize),
+                    q: sph[s as usize].radius,
+                    idx: rest,
+                });
             }
-            Ok(connector.unwrap_or(rep_ref))
+            Ok((connector.unwrap_or(rep_ref), job))
         }
     }
 }

@@ -1,0 +1,188 @@
+//! Differential sequential-parity harness for the parallel construction
+//! path (`omt-par`).
+//!
+//! The deterministic-parallelism contract of `omt_par::par_map_indexed`
+//! is that results are joined in *item-index* order, never completion
+//! order, and that the per-cell bisection jobs are pure functions of
+//! their inputs. Together these guarantee that `PolarGridBuilder` /
+//! `SphereGridBuilder` produce **bit-identical trees** at any thread
+//! count. This harness proves it empirically over a grid of
+//! (seed × n × out-degree) configurations, comparing every parallel
+//! thread count in {2, 4, 8} against the forced-sequential `threads(1)`
+//! baseline:
+//!
+//! * structural equality of the whole tree (`MulticastTree: PartialEq`
+//!   covers points, parents, edge weights, depths, hops and the CSR
+//!   child lists), and
+//! * exact equality of the derived metrics (radius, diameter, hop and
+//!   degree statistics) — floats compared via `to_bits`.
+
+use omt_core::{PolarGridBuilder, SphereGridBuilder};
+use omt_geom::{Ball, Disk, Point2, Point3, Region};
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
+use omt_tree::{MulticastTree, TreeMetrics};
+
+const PAR_THREADS: [usize; 3] = [2, 4, 8];
+
+/// Exact (bit-level) equality for metrics; `TreeMetrics: PartialEq`
+/// would treat `-0.0 == 0.0`, and parity here means *bit-identical*.
+fn assert_metrics_bitwise_equal(label: &str, seq: &TreeMetrics, par: &TreeMetrics) {
+    assert_eq!(seq.len, par.len, "{label}: len");
+    assert_eq!(seq.max_hops, par.max_hops, "{label}: max_hops");
+    assert_eq!(
+        seq.max_out_degree, par.max_out_degree,
+        "{label}: max_out_degree"
+    );
+    for (name, a, b) in [
+        ("radius", seq.radius, par.radius),
+        ("diameter", seq.diameter, par.diameter),
+        (
+            "total_edge_weight",
+            seq.total_edge_weight,
+            par.total_edge_weight,
+        ),
+        ("mean_depth", seq.mean_depth, par.mean_depth),
+        ("mean_hops", seq.mean_hops, par.mean_hops),
+        ("max_stretch", seq.max_stretch, par.max_stretch),
+        ("mean_stretch", seq.mean_stretch, par.mean_stretch),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: metric {name} drifted ({a} vs {b})"
+        );
+    }
+}
+
+fn assert_trees_identical<const D: usize>(
+    label: &str,
+    seq: &MulticastTree<D>,
+    par: &MulticastTree<D>,
+) {
+    // Node-for-node, edge-for-edge: PartialEq on MulticastTree compares
+    // points, parent references, edge weights, depths, hops and child
+    // lists.
+    assert_eq!(seq, par, "{label}: tree structure drifted");
+    assert_metrics_bitwise_equal(label, &seq.metrics(), &par.metrics());
+}
+
+#[test]
+fn polar_grid_parallel_matches_sequential_across_config_grid() {
+    // 3 seeds × 4 sizes × 2 degrees = 24 configurations, each checked
+    // at 3 parallel thread counts against the sequential baseline.
+    let seeds = [2004u64, 2005, 7];
+    let sizes = [64usize, 257, 1_000, 4_096];
+    let degrees = [2u32, 6];
+
+    let mut configs = 0usize;
+    for &seed in &seeds {
+        for &n in &sizes {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let hosts = Disk::unit().sample_n(&mut rng, n);
+            for &deg in &degrees {
+                configs += 1;
+                let seq = PolarGridBuilder::new()
+                    .max_out_degree(deg)
+                    .threads(1)
+                    .build(Point2::ORIGIN, &hosts)
+                    .expect("sequential build");
+                for &t in &PAR_THREADS {
+                    let par = PolarGridBuilder::new()
+                        .max_out_degree(deg)
+                        .threads(t)
+                        .build(Point2::ORIGIN, &hosts)
+                        .expect("parallel build");
+                    let label = format!("2d seed={seed} n={n} deg={deg} threads={t}");
+                    assert_trees_identical(&label, &seq, &par);
+                }
+            }
+        }
+    }
+    assert!(configs >= 24, "config grid shrank: {configs} < 24");
+}
+
+#[test]
+fn sphere_grid_parallel_matches_sequential_across_config_grid() {
+    // 2 seeds × 2 sizes × 2 degrees = 8 more configurations in 3-D.
+    let seeds = [2004u64, 11];
+    let sizes = [128usize, 1_000];
+    let degrees = [2u32, 10];
+
+    for &seed in &seeds {
+        for &n in &sizes {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let hosts = Ball::<3>::unit().sample_n(&mut rng, n);
+            for &deg in &degrees {
+                let seq = SphereGridBuilder::new()
+                    .max_out_degree(deg)
+                    .threads(1)
+                    .build(Point3::ORIGIN, &hosts)
+                    .expect("sequential build");
+                for &t in &PAR_THREADS {
+                    let par = SphereGridBuilder::new()
+                        .max_out_degree(deg)
+                        .threads(t)
+                        .build(Point3::ORIGIN, &hosts)
+                        .expect("parallel build");
+                    let label = format!("3d seed={seed} n={n} deg={deg} threads={t}");
+                    assert_trees_identical(&label, &seq, &par);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reports_match_between_sequential_and_parallel() {
+    // The build report (delay, bounds, grid shape) is part of the
+    // deterministic contract too, not just the tree.
+    let mut rng = SmallRng::seed_from_u64(2004);
+    let hosts = Disk::unit().sample_n(&mut rng, 2_000);
+    let (seq_tree, seq_rep) = PolarGridBuilder::new()
+        .max_out_degree(6)
+        .threads(1)
+        .build_with_report(Point2::ORIGIN, &hosts)
+        .expect("sequential build");
+    for t in PAR_THREADS {
+        let (par_tree, par_rep) = PolarGridBuilder::new()
+            .max_out_degree(6)
+            .threads(t)
+            .build_with_report(Point2::ORIGIN, &hosts)
+            .expect("parallel build");
+        assert_eq!(seq_tree, par_tree, "threads={t}: tree drifted");
+        assert_eq!(
+            seq_rep.delay.to_bits(),
+            par_rep.delay.to_bits(),
+            "threads={t}: report delay drifted"
+        );
+        assert_eq!(
+            seq_rep.bound.to_bits(),
+            par_rep.bound.to_bits(),
+            "threads={t}: report bound drifted"
+        );
+        assert_eq!(
+            seq_rep.lower_bound.to_bits(),
+            par_rep.lower_bound.to_bits(),
+            "threads={t}: report lower bound drifted"
+        );
+    }
+}
+
+#[test]
+fn env_default_thread_count_matches_sequential() {
+    // Whatever `OMT_THREADS` / available parallelism resolves to on this
+    // machine, the default build must equal the forced-sequential one.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let hosts = Disk::unit().sample_n(&mut rng, 1_500);
+    let seq = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .threads(1)
+        .build(Point2::ORIGIN, &hosts)
+        .expect("sequential build");
+    let par = PolarGridBuilder::new()
+        .max_out_degree(2)
+        .build(Point2::ORIGIN, &hosts)
+        .expect("default-threads build");
+    assert_trees_identical("default-threads deg=2 n=1500", &seq, &par);
+}

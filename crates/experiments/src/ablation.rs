@@ -5,7 +5,7 @@ use omt_core::{Bisection, PolarGridBuilder, RepStrategy};
 use omt_geom::Point2;
 
 use crate::stats::Accumulator;
-use crate::workload::disk_trial;
+use crate::workload::{disk_trial, par_trials};
 
 /// One ablation variant's aggregated result.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,14 +31,17 @@ pub fn rep_strategy_ablation(seed: u64, n: usize, trials: usize) -> Vec<Ablation
         ] {
             let builder = PolarGridBuilder::new()
                 .max_out_degree(deg)
-                .representative_strategy(strategy);
+                .representative_strategy(strategy)
+                .threads(1);
             let mut acc = Accumulator::new();
-            for trial in 0..trials {
+            for delay in par_trials(trials, |trial| {
                 let pts = disk_trial(seed, n, trial);
                 let (_, report) = builder
                     .build_with_report(Point2::ORIGIN, &pts)
                     .expect("valid workload");
-                acc.push(report.delay);
+                report.delay
+            }) {
+                acc.push(delay);
             }
             rows.push(AblationRow {
                 variant: format!("{deg_name}/{name}"),
@@ -56,9 +59,10 @@ pub fn ring_offset_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationR
     let mut rows = Vec::new();
     for offset in 0u32..3 {
         let mut acc = Accumulator::new();
-        for trial in 0..trials {
+        for delay in par_trials(trials, |trial| {
             let pts = disk_trial(seed, n, trial);
             let auto = PolarGridBuilder::new()
+                .threads(1)
                 .build_with_report(Point2::ORIGIN, &pts)
                 .expect("valid workload")
                 .1
@@ -66,9 +70,12 @@ pub fn ring_offset_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationR
             let k = auto.saturating_sub(offset);
             let (_, report) = PolarGridBuilder::new()
                 .rings(k)
+                .threads(1)
                 .build_with_report(Point2::ORIGIN, &pts)
                 .expect("smaller k is always feasible");
-            acc.push(report.delay);
+            report.delay
+        }) {
+            acc.push(delay);
         }
         rows.push(AblationRow {
             variant: format!("rings = auto - {offset}"),
@@ -79,8 +86,9 @@ pub fn ring_offset_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationR
     rows
 }
 
-/// A named tree-radius evaluator over one workload.
-type Variant = (String, Box<dyn Fn(&[Point2]) -> f64>);
+/// A named tree-radius evaluator over one workload (`Sync` so trials can
+/// fan out across the `omt-par` pool).
+type Variant = (String, Box<dyn Fn(&[Point2]) -> f64 + Sync>);
 
 /// Runs the standalone-bisection ablation: pure bisection (no grid) at
 /// degrees 4 and 2, against the full polar-grid algorithm.
@@ -91,6 +99,7 @@ pub fn bisection_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationRow
             "polar-grid deg6".into(),
             Box::new(|pts: &[Point2]| {
                 PolarGridBuilder::new()
+                    .threads(1)
                     .build(Point2::ORIGIN, pts)
                     .expect("valid")
                     .radius()
@@ -119,9 +128,11 @@ pub fn bisection_ablation(seed: u64, n: usize, trials: usize) -> Vec<AblationRow
     ];
     for (name, f) in variants {
         let mut acc = Accumulator::new();
-        for trial in 0..trials {
+        for radius in par_trials(trials, |trial| {
             let pts = disk_trial(seed, n, trial);
-            acc.push(f(&pts));
+            f(&pts)
+        }) {
+            acc.push(radius);
         }
         rows.push(AblationRow {
             variant: name,

@@ -13,12 +13,13 @@ use omt_rng::RngExt;
 use omt_sim::simulate_with_failures;
 
 use crate::stats::Accumulator;
-use crate::workload::{disk_trial, trial_rng};
+use crate::workload::{disk_trial, par_trials, trial_rng};
 
-/// A named tree constructor over one workload.
+/// A named tree constructor over one workload (`Sync` so trials can fan
+/// out across the `omt-par` pool).
 type Construction = (
     &'static str,
-    Box<dyn Fn(&[Point2]) -> omt_tree::MulticastTree<2>>,
+    Box<dyn Fn(&[Point2]) -> omt_tree::MulticastTree<2> + Sync>,
 );
 
 /// Aggregated stranding for one (tree, crash-rate) cell.
@@ -48,6 +49,7 @@ pub fn run_resilience(
             "polar-grid deg6",
             Box::new(|pts: &[Point2]| {
                 PolarGridBuilder::new()
+                    .threads(1)
                     .build(Point2::ORIGIN, pts)
                     .expect("valid")
             }),
@@ -57,6 +59,7 @@ pub fn run_resilience(
             Box::new(|pts: &[Point2]| {
                 PolarGridBuilder::new()
                     .max_out_degree(2)
+                    .threads(1)
                     .build(Point2::ORIGIN, pts)
                     .expect("valid")
             }),
@@ -79,16 +82,19 @@ pub fn run_resilience(
     for (name, build) in &constructions {
         for &rate in crash_rates {
             let mut acc = Accumulator::new();
-            for trial in 0..trials {
+            // Trials fan out across the pool; fold in trial order so the
+            // aggregates are thread-count invariant.
+            let fractions = par_trials(trials, |trial| {
                 let pts = disk_trial(seed, n, trial);
                 let tree = build(&pts);
                 let mut rng = trial_rng(seed ^ 0xFA11, n, trial);
                 let failed: Vec<usize> = (0..n).filter(|_| rng.random::<f64>() < rate).collect();
                 let report = simulate_with_failures(&tree, &failed);
                 let survivors = n - report.crashed;
-                if survivors > 0 {
-                    acc.push(report.stranded as f64 / survivors as f64);
-                }
+                (survivors > 0).then(|| report.stranded as f64 / survivors as f64)
+            });
+            for f in fractions.into_iter().flatten() {
+                acc.push(f);
             }
             rows.push(ResilienceRow {
                 tree: (*name).to_string(),

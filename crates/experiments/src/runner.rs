@@ -7,7 +7,7 @@ use omt_core::{PolarGridBuilder, SphereGridBuilder};
 use omt_geom::{Point2, Point3};
 
 use crate::stats::Accumulator;
-use crate::workload::{ball_trial, disk_trial};
+use crate::workload::{ball_trial, disk_trial, par_trials};
 
 /// Aggregates for one out-degree setting of Table I.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -48,9 +48,12 @@ pub fn run_table1_row(seed: u64, n: usize, trials: usize) -> Table1Row {
     let mut lower = Accumulator::new();
     let mut acc6 = DegreeAcc::default();
     let mut acc2 = DegreeAcc::default();
-    let b6 = PolarGridBuilder::new().max_out_degree(6);
-    let b2 = PolarGridBuilder::new().max_out_degree(2);
-    for trial in 0..trials {
+    // Trials fan out across the `omt-par` pool (builders pinned to one
+    // thread each); folding in trial order keeps every aggregate
+    // bit-identical at any thread count.
+    let b6 = PolarGridBuilder::new().max_out_degree(6).threads(1);
+    let b2 = PolarGridBuilder::new().max_out_degree(2).threads(1);
+    let results = par_trials(trials, |trial| {
         let points = disk_trial(seed, n, trial);
         let t0 = Instant::now();
         let (_, r6) = b6
@@ -62,6 +65,9 @@ pub fn run_table1_row(seed: u64, n: usize, trials: usize) -> Table1Row {
             .build_with_report(Point2::ORIGIN, &points)
             .expect("valid workload");
         let cpu2 = t0.elapsed().as_secs_f64();
+        (r6, cpu6, r2, cpu2)
+    });
+    for (r6, cpu6, r2, cpu2) in results {
         // Both runs share the grid parameters (same points, same rule).
         debug_assert_eq!(r6.rings, r2.rings);
         rings.push(f64::from(r6.rings));
@@ -108,20 +114,25 @@ pub fn run_fig8_row(seed: u64, n: usize, trials: usize) -> Fig8Row {
     let mut d2 = Accumulator::new();
     let mut c10 = Accumulator::new();
     let mut c2 = Accumulator::new();
-    let b10 = SphereGridBuilder::new().max_out_degree(10);
-    let b2 = SphereGridBuilder::new().max_out_degree(2);
-    for trial in 0..trials {
+    let b10 = SphereGridBuilder::new().max_out_degree(10).threads(1);
+    let b2 = SphereGridBuilder::new().max_out_degree(2).threads(1);
+    let results = par_trials(trials, |trial| {
         let points = ball_trial(seed, n, trial);
         let t0 = Instant::now();
         let (_, r10) = b10
             .build_with_report(Point3::ORIGIN, &points)
             .expect("valid workload");
-        c10.push(t0.elapsed().as_secs_f64());
+        let cpu10 = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         let (_, r2) = b2
             .build_with_report(Point3::ORIGIN, &points)
             .expect("valid workload");
-        c2.push(t0.elapsed().as_secs_f64());
+        let cpu2 = t0.elapsed().as_secs_f64();
+        (r10, cpu10, r2, cpu2)
+    });
+    for (r10, cpu10, r2, cpu2) in results {
+        c10.push(cpu10);
+        c2.push(cpu2);
         rings.push(f64::from(r10.rings));
         d10.push(r10.delay);
         d2.push(r2.delay);

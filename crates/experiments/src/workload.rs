@@ -42,6 +42,24 @@ pub fn trial_rng(experiment_seed: u64, n: usize, trial: usize) -> SmallRng {
     SmallRng::seed_from_u64(z)
 }
 
+/// Runs `trials` independent trial bodies across the `omt-par` pool and
+/// returns the results in trial order.
+///
+/// Because every trial derives its randomness from [`trial_rng`] (a pure
+/// function of `(seed, n, trial)`) and results are joined by trial index,
+/// any aggregate folded over the returned vector is bit-identical at any
+/// thread count, including `OMT_THREADS=1`. Trial bodies should force
+/// their inner builders to `.threads(1)` so parallelism lives at exactly
+/// one level.
+pub fn par_trials<R, F>(trials: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..trials).collect();
+    omt_par::par_map_indexed(&idx, omt_par::effective_threads(), |_, &trial| f(trial))
+}
+
 /// Uniform points in the unit disk for one trial.
 pub fn disk_trial(experiment_seed: u64, n: usize, trial: usize) -> Vec<Point2> {
     let mut rng = trial_rng(experiment_seed, n, trial);

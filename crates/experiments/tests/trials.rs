@@ -1,0 +1,69 @@
+//! Workload policy tests: the `default_trials` size thresholds and the
+//! independence of the per-(seed, n, trial) RNG streams that the parallel
+//! trial fan-out depends on (order-independent randomness is what makes
+//! `par_trials` aggregates thread-count invariant).
+
+use std::collections::HashSet;
+
+use omt_experiments::workload::{default_trials, par_trials, trial_rng};
+use omt_rng::{prop_assert, props, Rng};
+
+#[test]
+fn default_trials_boundary_sizes() {
+    // 200 trials up to and including 100_000 nodes.
+    assert_eq!(default_trials(1), 200);
+    assert_eq!(default_trials(99_999), 200);
+    assert_eq!(default_trials(100_000), 200);
+    // 20 trials from there up to and including 1_000_000.
+    assert_eq!(default_trials(100_001), 20);
+    assert_eq!(default_trials(1_000_000), 20);
+    // 5 trials beyond.
+    assert_eq!(default_trials(1_000_001), 5);
+    assert_eq!(default_trials(usize::MAX), 5);
+}
+
+#[test]
+fn trial_rng_streams_are_pairwise_distinct_for_a_thousand_trials() {
+    // Fingerprint each stream by its first two outputs; 1000 streams must
+    // produce 1000 distinct fingerprints (for several seeds and sizes).
+    for seed in [0u64, 1, 2004, u64::MAX] {
+        for n in [100usize, 100_000] {
+            let mut seen = HashSet::new();
+            for trial in 0..1000 {
+                let mut rng = trial_rng(seed, n, trial);
+                let fp = (rng.next_u64(), rng.next_u64());
+                assert!(
+                    seen.insert(fp),
+                    "colliding stream at seed={seed} n={n} trial={trial}"
+                );
+            }
+        }
+    }
+}
+
+props! {
+    #[cases(64)]
+    fn trial_rng_streams_distinct_across_seed_and_size(
+        seed in 0u64..u64::MAX,
+        n in 1usize..5_000_000
+    ) {
+        // Same (seed, n) with different trials, and neighboring seeds /
+        // sizes with the same trial, must all land on distinct streams.
+        let mut a = trial_rng(seed, n, 0);
+        let mut b = trial_rng(seed, n, 1);
+        let mut c = trial_rng(seed.wrapping_add(1), n, 0);
+        let mut d = trial_rng(seed, n + 1, 0);
+        let xs = [a.next_u64(), b.next_u64(), c.next_u64(), d.next_u64()];
+        let distinct: HashSet<u64> = xs.iter().copied().collect();
+        prop_assert!(distinct.len() == 4, "stream collision: {xs:?}");
+    }
+}
+
+#[test]
+fn par_trials_returns_results_in_trial_order() {
+    let squares = par_trials(257, |trial| trial * trial);
+    assert_eq!(squares.len(), 257);
+    for (i, s) in squares.iter().enumerate() {
+        assert_eq!(*s, i * i);
+    }
+}

@@ -6,6 +6,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Warnings are errors: the workspace must build clean.
+export RUSTFLAGS="-D warnings"
+
+echo "==> checking for stray proptest-regressions files"
+if regressions=$(find . -path ./target -prune -o -name '*.proptest-regressions' -print | grep .); then
+    echo "error: stale proptest-regressions files checked in:" >&2
+    echo "$regressions" >&2
+    echo "The in-repo props! harness replays via OMT_PROP_SEED instead;" >&2
+    echo "fix the failure and delete the file." >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 

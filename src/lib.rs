@@ -51,6 +51,7 @@ pub use omt_core as algo;
 pub use omt_experiments as experiments;
 pub use omt_geom as geom;
 pub use omt_net as net;
+pub use omt_par as par;
 pub use omt_rng as rng;
 pub use omt_sim as sim;
 pub use omt_tree as tree;

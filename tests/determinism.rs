@@ -43,3 +43,38 @@ fn identical_seeds_give_identical_radii_across_runs() {
     let b = thousand_point_tree_radius();
     assert_eq!(a.to_bits(), b.to_bits());
 }
+
+/// Golden stream: exact degree-6 Polar_Grid radii for two seeds across
+/// three problem sizes. Each value must reproduce bit-for-bit under both
+/// the forced-sequential path and the 4-thread parallel path — the
+/// parallel construction is part of the determinism contract.
+const PINNED_RADII: [(u64, usize, f64); 6] = [
+    (2004, 100, 1.996_663_175_912_053_2),
+    (2004, 1_000, 1.236_629_286_088_540_6),
+    (2004, 10_000, 1.114_178_643_433_743_7),
+    (2005, 100, 1.805_383_687_313_799_8),
+    (2005, 1_000, 1.285_077_066_044_268_7),
+    (2005, 10_000, 1.099_604_644_238_691_1),
+];
+
+#[test]
+fn polar_grid_radii_are_pinned_across_seeds_sizes_and_thread_counts() {
+    for (seed, n, pinned) in PINNED_RADII {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let points: Vec<Point2> = Ball::<2>::unit().sample_n(&mut rng, n);
+        for threads in [1usize, 4] {
+            let radius = PolarGridBuilder::new()
+                .threads(threads)
+                .build(Point2::ORIGIN, &points)
+                .unwrap()
+                .radius();
+            assert_eq!(
+                radius.to_bits(),
+                pinned.to_bits(),
+                "seed={seed} n={n} threads={threads}: radius {radius:.17} \
+                 (bits {:#x}) drifted from pinned {pinned:.17}",
+                radius.to_bits(),
+            );
+        }
+    }
+}
