@@ -8,9 +8,12 @@
 //! `BENCH_*.json` trajectory files use), plus a human-readable line per
 //! benchmark on stdout.
 //!
-//! Timing model: per benchmark, one warm-up call calibrates an iteration
-//! count targeting [`TARGET_SAMPLE_NANOS`] per sample, then `sample_size`
-//! samples are measured and summarized (mean/median/min/max/stddev).
+//! Timing model: per benchmark, the median of three warm-up calls
+//! calibrates an iteration count targeting [`TARGET_SAMPLE_NANOS`] per
+//! sample (a single call is hostage to first-call allocation and
+//! page-fault spikes), then `sample_size` samples are measured and
+//! summarized (mean/median/min/max/stddev). `--quick` runs one warm-up
+//! and one iteration.
 //!
 //! Runner flags (cargo passes these through):
 //! - `--test` / `--quick`: one sample, one iteration — CI smoke mode.
@@ -99,15 +102,23 @@ impl Bencher {
     /// budget. The last measurement wins if called twice (criterion forbids
     /// that; the benches here never do it).
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
-        // Warm-up doubles as calibration.
-        let warm = Instant::now();
-        let _keep = std::hint::black_box(f());
-        let warm_ns = warm.elapsed().as_nanos() as f64;
-
+        // Warm-up doubles as calibration. A single invocation is fragile:
+        // a first-call allocation or page-fault spike inflates the
+        // estimate, collapsing `iters` to 1 and ruining sample quality —
+        // so calibrate from the median of three invocations (`--quick`
+        // keeps one warm-up and one iteration: it is a smoke mode).
         let iters = if self.quick {
+            let _keep = std::hint::black_box(f());
             1
         } else {
-            (TARGET_SAMPLE_NANOS / warm_ns.max(1.0))
+            let mut warm = [0.0f64; 3];
+            for w in &mut warm {
+                let t0 = Instant::now();
+                let _keep = std::hint::black_box(f());
+                *w = t0.elapsed().as_nanos() as f64;
+            }
+            warm.sort_by(f64::total_cmp);
+            (TARGET_SAMPLE_NANOS / warm[1].max(1.0))
                 .clamp(1.0, 1_000_000.0)
                 .round() as u64
         };

@@ -22,6 +22,13 @@ pub enum BuildError {
     },
     /// The multicast source position has a NaN or infinite coordinate.
     NonFiniteSource,
+    /// A host id passed to a dynamic-membership operation does not name a
+    /// live host — it was never issued by this overlay or the host has
+    /// already departed.
+    UnknownHost {
+        /// The raw id value, for diagnostics.
+        id: u64,
+    },
     /// An explicit ring-count override is infeasible for the input (some
     /// active non-outermost grid cell would be empty, which would break the
     /// degree guarantee).
@@ -47,6 +54,9 @@ impl fmt::Display for BuildError {
                 write!(f, "point {index} has a non-finite coordinate")
             }
             Self::NonFiniteSource => write!(f, "source has a non-finite coordinate"),
+            Self::UnknownHost { id } => {
+                write!(f, "host id {id} is unknown or has already departed")
+            }
             Self::InfeasibleRings {
                 requested,
                 feasible,
@@ -87,6 +97,9 @@ mod tests {
             .to_string()
             .contains('3'));
         assert!(!BuildError::NonFiniteSource.to_string().is_empty());
+        assert!(BuildError::UnknownHost { id: 42 }
+            .to_string()
+            .contains("42"));
         assert!(BuildError::InfeasibleRings {
             requested: 9,
             feasible: 4

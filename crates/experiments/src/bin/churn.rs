@@ -1,6 +1,7 @@
 //! Dynamic membership under churn: the decentralized-maintenance extension.
 //! Reports the worst delay of the churned overlay against a fresh static
-//! rebuild over the same membership, as churn progresses.
+//! rebuild over the same membership, as churn progresses, plus the fraction
+//! of survivors a random 1% host crash would strand in the churned tree.
 
 use omt_core::{DynamicOverlay, PolarGridBuilder};
 use omt_experiments::cli::ExpArgs;
@@ -8,6 +9,7 @@ use omt_experiments::report::{series_csv, series_markdown, write_result};
 use omt_experiments::workload::trial_rng;
 use omt_geom::{Point2, Region};
 use omt_rng::RngExt;
+use omt_sim::simulate_with_failures;
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -33,10 +35,25 @@ fn main() {
                 .build(Point2::ORIGIN, snapshot.points())
                 .expect("valid points")
                 .radius();
-            rows.push((step as f64, vec![churned, fresh, churned / fresh]));
+            // Resilience of the churned tree: strand rate after a random
+            // 1% host crash. The crash rng derives from (seed, target,
+            // 1 + step), independent of the membership stream's rng, so
+            // adding this column cannot perturb the event trace.
+            let mut crash_rng = trial_rng(args.seed(), target, 1 + step);
+            let crashes = (snapshot.len() / 100).max(1);
+            let failed: Vec<usize> = (0..crashes)
+                .map(|_| crash_rng.random_range(0..snapshot.len()))
+                .collect();
+            let stranded = simulate_with_failures(&snapshot, &failed).stranded_fraction();
+            rows.push((step as f64, vec![churned, fresh, churned / fresh, stranded]));
         }
     }
-    let names = ["churned radius", "fresh rebuild radius", "ratio"];
+    let names = [
+        "churned radius",
+        "fresh rebuild radius",
+        "ratio",
+        "crash stranded fraction",
+    ];
     println!("{}", series_markdown("events", &names, &rows));
     if let Some(dir) = &args.out {
         let p = write_result(dir, "churn.csv", &series_csv("events", &names, &rows))

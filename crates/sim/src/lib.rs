@@ -233,6 +233,19 @@ pub struct FailureReport {
     pub crashed: usize,
 }
 
+impl FailureReport {
+    /// Fraction of *surviving* receivers cut off by upstream crashes
+    /// (0.0 when every receiver crashed or the tree is empty).
+    pub fn stranded_fraction(&self) -> f64 {
+        let survivors = self.delivered.len() - self.crashed;
+        if survivors == 0 {
+            0.0
+        } else {
+            self.stranded as f64 / survivors as f64
+        }
+    }
+}
+
 /// Which receivers a packet still reaches when the hosts in `failed` have
 /// crashed (they neither receive nor forward).
 ///
@@ -427,6 +440,24 @@ mod tests {
         let f = simulate_with_failures(&t, &[]);
         assert_eq!(f.reached, 3);
         assert_eq!(f.stranded, 0);
+    }
+
+    #[test]
+    fn stranded_fraction_normalizes_over_survivors() {
+        let t = tree();
+        // Crash node 0: of the 2 survivors, node 1 is stranded.
+        let f = simulate_with_failures(&t, &[0]);
+        assert_eq!(f.stranded_fraction(), 0.5);
+        let f = simulate_with_failures(&t, &[]);
+        assert_eq!(f.stranded_fraction(), 0.0);
+        // All receivers crashed: no survivors, fraction defined as 0.
+        let f = simulate_with_failures(&t, &[0, 1, 2]);
+        assert_eq!(f.stranded_fraction(), 0.0);
+        // Empty tree.
+        let empty = TreeBuilder::<2>::new(Point2::ORIGIN, vec![])
+            .finish()
+            .unwrap();
+        assert_eq!(simulate_with_failures(&empty, &[]).stranded_fraction(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Validation of raw parent arrays, without materializing a tree.
+//!
+//! [`MulticastTree::validate`](crate::MulticastTree::validate) re-verifies a
+//! finished tree, but maintenance structures (notably
+//! `omt_core::DynamicOverlay`) hold their topology as a bare parent mapping
+//! and need the same spanning/acyclicity/degree checks *per membership
+//! event*, where building a snapshot first would dominate the cost of the
+//! check. [`validate_parent_forest`] runs directly on `Option<usize>`
+//! parent slots (`None` = attached to the source).
+
+use crate::error::ValidationError;
+
+/// Validates a parent mapping as a spanning forest rooted at the source.
+///
+/// `parents[i]` is the parent of node `i`, with `None` meaning the node is a
+/// direct child of the source. The check verifies:
+///
+/// * every parent index is in range (no dangling references),
+/// * no node is its own ancestor (acyclicity — which, with every node having
+///   a parent, makes the structure spanning),
+/// * if `max_out_degree` is given, no node exceeds it — **including the
+///   source**, whose out-degree is the number of `None` entries.
+///
+/// Runs in O(n) using a memoized three-color walk.
+///
+/// # Examples
+///
+/// ```
+/// use omt_tree::validate_parent_forest;
+///
+/// // source -> 0 -> 1, source -> 2
+/// let parents = [None, Some(0), None];
+/// validate_parent_forest(&parents, Some(2)).unwrap();
+/// assert!(validate_parent_forest(&parents, Some(1)).is_err()); // source has 2 children
+/// assert!(validate_parent_forest(&[Some(1), Some(0)], None).is_err()); // 2-cycle
+/// ```
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a [`ValidationError`].
+pub fn validate_parent_forest(
+    parents: &[Option<usize>],
+    max_out_degree: Option<u32>,
+) -> Result<(), ValidationError> {
+    let n = parents.len();
+    for (child, &p) in parents.iter().enumerate() {
+        if let Some(p) = p {
+            if p >= n {
+                return Err(ValidationError::DanglingParent { child, parent: p });
+            }
+            if p == child {
+                return Err(ValidationError::Cycle { start: child });
+            }
+        }
+    }
+    // Acyclicity: walk each unresolved chain up to the source, marking the
+    // chain in-progress; meeting an in-progress node means a cycle.
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = in progress, 2 = done
+    let mut chain = Vec::new();
+    for start in 0..n {
+        if state[start] == 2 {
+            continue;
+        }
+        chain.clear();
+        let mut u = start;
+        loop {
+            if state[u] == 1 {
+                return Err(ValidationError::Cycle { start: u });
+            }
+            if state[u] == 2 {
+                break;
+            }
+            state[u] = 1;
+            chain.push(u);
+            match parents[u] {
+                None => break,
+                Some(p) => u = p,
+            }
+        }
+        for &v in &chain {
+            state[v] = 2;
+        }
+    }
+    // Degree bound, including the source.
+    if let Some(bound) = max_out_degree {
+        let mut degree = vec![0u32; n];
+        let mut source_degree = 0u32;
+        for &p in parents {
+            match p {
+                None => source_degree += 1,
+                Some(p) => degree[p] += 1,
+            }
+        }
+        if source_degree > bound {
+            return Err(ValidationError::DegreeViolation {
+                node: None,
+                degree: source_degree,
+                bound,
+            });
+        }
+        for (node, &d) in degree.iter().enumerate() {
+            if d > bound {
+                return Err(ValidationError::DegreeViolation {
+                    node: Some(node),
+                    degree: d,
+                    bound,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_empty_and_single() {
+        validate_parent_forest(&[], Some(0)).unwrap();
+        validate_parent_forest(&[None], Some(1)).unwrap();
+    }
+
+    #[test]
+    fn accepts_chains_and_stars() {
+        // source -> 0 -> 1 -> 2 -> 3
+        let chain: Vec<Option<usize>> = (0..4).map(|i| (i > 0).then(|| i - 1)).collect();
+        validate_parent_forest(&chain, Some(1)).unwrap();
+        // source -> {0, 1, 2}
+        let star = [None, None, None];
+        validate_parent_forest(&star, Some(3)).unwrap();
+        assert!(matches!(
+            validate_parent_forest(&star, Some(2)),
+            Err(ValidationError::DegreeViolation { node: None, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_parent() {
+        assert!(matches!(
+            validate_parent_forest(&[None, Some(9)], None),
+            Err(ValidationError::DanglingParent {
+                child: 1,
+                parent: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_cycles() {
+        assert!(matches!(
+            validate_parent_forest(&[Some(0)], None),
+            Err(ValidationError::Cycle { start: 0 })
+        ));
+        // 0 -> 1 -> 2 -> 0, plus a tail 3 hanging off the cycle.
+        assert!(matches!(
+            validate_parent_forest(&[Some(1), Some(2), Some(0), Some(0)], None),
+            Err(ValidationError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_node_degree_violation() {
+        // Node 0 has three children under a bound of 2.
+        let parents = [None, Some(0), Some(0), Some(0)];
+        assert!(matches!(
+            validate_parent_forest(&parents, Some(2)),
+            Err(ValidationError::DegreeViolation {
+                node: Some(0),
+                degree: 3,
+                bound: 2
+            })
+        ));
+        validate_parent_forest(&parents, Some(3)).unwrap();
+        validate_parent_forest(&parents, None).unwrap();
+    }
+
+    #[test]
+    fn agrees_with_tree_validate() {
+        use crate::TreeBuilder;
+        use omt_geom::Point2;
+        let pts: Vec<Point2> = (0..20)
+            .map(|i| {
+                let t = i as f64 * 0.61;
+                Point2::new([t.cos(), t.sin()])
+            })
+            .collect();
+        let mut b = TreeBuilder::new(Point2::ORIGIN, pts).max_out_degree(3);
+        for i in 0..20 {
+            if i < 3 {
+                b.attach_to_source(i).unwrap();
+            } else {
+                b.attach(i, (i - 3) / 3).unwrap();
+            }
+        }
+        let tree = b.finish().unwrap();
+        tree.validate(Some(3)).unwrap();
+        let parents: Vec<Option<usize>> = (0..20)
+            .map(|i| match tree.parent(i) {
+                crate::ParentRef::Source => None,
+                crate::ParentRef::Node(p) => Some(p),
+            })
+            .collect();
+        validate_parent_forest(&parents, Some(3)).unwrap();
+        assert!(validate_parent_forest(&parents, Some(2)).is_err());
+    }
+}

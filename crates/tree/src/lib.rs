@@ -12,6 +12,9 @@
 //! * [`TreeMetrics`] — radius / diameter / stretch / fanout summaries.
 //! * [`MulticastTree::validate`] — from-scratch invariant re-verification
 //!   for tests and debugging.
+//! * [`validate_parent_forest`] — the same spanning/acyclicity/degree checks
+//!   on a bare parent array, for maintenance structures that validate per
+//!   membership event without materializing a snapshot.
 //! * [`MulticastTree::to_dot`] / [`MulticastTree::to_edge_list`] —
 //!   GraphViz and plain-text exchange formats (with a parser).
 //! * [`MulticastTree::to_svg`] — dependency-free SVG rendering of 2-D
@@ -46,6 +49,7 @@
 pub mod builder;
 pub mod error;
 pub mod export;
+mod forest;
 pub mod iter;
 pub mod metrics;
 pub mod svg;
@@ -53,6 +57,7 @@ mod tree;
 
 pub use builder::TreeBuilder;
 pub use error::{TreeError, ValidationError};
+pub use forest::validate_parent_forest;
 pub use iter::{Bfs, Dfs, PathToSource};
 pub use metrics::TreeMetrics;
 pub use svg::SvgOptions;

@@ -24,6 +24,11 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+# The churn fuzz validates the dynamic overlay after every membership
+# event; run it in release so the every-event snapshot checks stay cheap.
+echo "==> cargo test -q --release --offline -p omt-core --test churn_fuzz"
+cargo test -q --release --offline -p omt-core --test churn_fuzz
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
