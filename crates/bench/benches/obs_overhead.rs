@@ -1,0 +1,37 @@
+//! Disabled-path observability guard: times the pinned `polar_grid`
+//! build at n = 100k with the `obs` feature **off**.
+//!
+//! The acceptance bar for the observability layer is that the no-op
+//! macros add no measurable cost to the hot construction path. The
+//! checked-in artifacts were produced by building this bench against
+//! the pre-instrumentation tree (a worktree at the previous commit) and
+//! the instrumented tree, then running the two binaries interleaved on
+//! the same machine: the adjacent pair recorded in
+//! `results/BENCH_obs_overhead_baseline.json` (pre) and
+//! `results/BENCH_obs_overhead.json` (post) agrees within 2% on both
+//! medians. CI re-runs it in `--quick` mode as a smoke check that the
+//! disabled path still builds and runs.
+
+use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
+use omt_core::PolarGridBuilder;
+use omt_geom::Point2;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    let n = 100_000usize;
+    let points = disk_points(n, n as u64);
+    group.throughput(Throughput::Elements(n as u64));
+    for (deg, name) in [(6u32, "deg6"), (2, "deg2")] {
+        group.bench_with_input(BenchmarkId::new(name, n), &points, |b, pts| {
+            let builder = PolarGridBuilder::new().max_out_degree(deg).threads(1);
+            b.iter(|| builder.build(Point2::ORIGIN, pts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

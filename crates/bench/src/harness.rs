@@ -79,6 +79,9 @@ struct BenchStats {
     max_ns: f64,
     stddev_ns: f64,
     throughput: Option<Throughput>,
+    /// Compact JSON snapshot of the metrics this benchmark recorded,
+    /// present only when `OMT_TRACE` recording is on.
+    metrics: Option<String>,
 }
 
 impl BenchStats {
@@ -194,7 +197,15 @@ impl BenchmarkGroup<'_> {
             quick: self.criterion.quick,
             stats: None,
         };
+        // Isolate this benchmark's metric snapshot: park whatever the
+        // thread accumulated so far, run, harvest the delta, then put
+        // both back. All no-ops when recording is off.
+        let parked = omt_obs::take_local();
         f(&mut bencher);
+        let recorded = omt_obs::take_local();
+        let metrics = (!recorded.is_empty()).then(|| recorded.to_json());
+        omt_obs::merge_into_local(parked);
+        omt_obs::merge_into_local(recorded);
         let Some((mut per_iter, iters)) = bencher.stats else {
             eprintln!("{full}: bench closure never called Bencher::iter");
             return;
@@ -218,6 +229,7 @@ impl BenchmarkGroup<'_> {
             max_ns: per_iter[per_iter.len() - 1],
             stddev_ns: var.sqrt(),
             throughput: self.throughput,
+            metrics,
         };
         let rate = stats
             .per_second()
@@ -261,10 +273,14 @@ impl BenchmarkGroup<'_> {
             let rate = s
                 .per_second()
                 .map_or(String::new(), |r| format!(", \"per_second\": {r:.3}"));
+            let metrics = s
+                .metrics
+                .as_ref()
+                .map_or(String::new(), |m| format!(", \"metrics\": {m}"));
             out.push_str(&format!(
                 "    {{\"id\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
                  \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"max_ns\": {:.1}, \"stddev_ns\": {:.1}{throughput}{rate}}}{}\n",
+                 \"max_ns\": {:.1}, \"stddev_ns\": {:.1}{throughput}{rate}{metrics}}}{}\n",
                 json_str(&s.id),
                 s.samples,
                 s.iters_per_sample,

@@ -60,12 +60,16 @@ pub(crate) fn bisect4<S: AttachSink>(
     src_radius: f64,
     idx: Vec<u32>,
 ) -> Result<(), TreeError> {
-    let mut stack: Vec<(RingSegment, ParentRef, f64, Vec<u32>)> = Vec::new();
-    stack.push((seg, src, src_radius, idx));
-    while let Some((seg, src, q, idx)) = stack.pop() {
+    // The last tuple field is the recursion depth the frame would have in
+    // the recursive formulation; it only feeds the observability layer.
+    let mut stack: Vec<(RingSegment, ParentRef, f64, Vec<u32>, u32)> = Vec::new();
+    stack.push((seg, src, src_radius, idx, 0));
+    while let Some((seg, src, q, idx, depth)) = stack.pop() {
         if idx.is_empty() {
             continue;
         }
+        omt_obs::obs_observe!("bisect2d/depth", u64::from(depth));
+        omt_obs::obs_count!("bisect2d/splits");
         // Partition the set into the four sub-segments.
         let children = seg.split4();
         let mut parts: [Vec<u32>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
@@ -84,6 +88,7 @@ pub(crate) fn bisect4<S: AttachSink>(
                     ParentRef::Node(rep as usize),
                     polar[rep as usize].radius,
                     part,
+                    depth + 1,
                 ));
             }
         }
@@ -119,9 +124,9 @@ pub(crate) fn bisect2<S: AttachSink>(
     src_radius: f64,
     idx: Vec<u32>,
 ) -> Result<(), TreeError> {
-    let mut stack: Vec<(RingSegment, Axis, ParentRef, f64, Vec<u32>)> = Vec::new();
-    stack.push((seg, Axis::Radius, src, src_radius, idx));
-    while let Some((seg, axis, src, q, mut idx)) = stack.pop() {
+    let mut stack: Vec<(RingSegment, Axis, ParentRef, f64, Vec<u32>, u32)> = Vec::new();
+    stack.push((seg, Axis::Radius, src, src_radius, idx, 0));
+    while let Some((seg, axis, src, q, mut idx, depth)) = stack.pop() {
         match idx.len() {
             0 => continue,
             1 => {
@@ -135,6 +140,8 @@ pub(crate) fn bisect2<S: AttachSink>(
             }
             _ => {}
         }
+        omt_obs::obs_observe!("bisect2d/depth", u64::from(depth));
+        omt_obs::obs_count!("bisect2d/splits");
         let a = take_closest_radius(polar, &mut idx, q);
         let c = take_closest_radius(polar, &mut idx, q);
         attach(b, a as usize, src)?;
@@ -203,6 +210,7 @@ pub(crate) fn bisect2<S: AttachSink>(
             ParentRef::Node(carrier_lo as usize),
             polar[carrier_lo as usize].radius,
             lo,
+            depth + 1,
         ));
         stack.push((
             hi_seg,
@@ -210,6 +218,7 @@ pub(crate) fn bisect2<S: AttachSink>(
             ParentRef::Node(carrier_hi as usize),
             polar[carrier_hi as usize].radius,
             hi,
+            depth + 1,
         ));
     }
     Ok(())

@@ -36,11 +36,16 @@ pub(crate) fn bisect8<S: AttachSink>(
     src_radius: f64,
     idx: Vec<u32>,
 ) -> Result<(), TreeError> {
-    let mut stack: Vec<(ShellCell, ParentRef, f64, Vec<u32>)> = vec![(cell, src, src_radius, idx)];
-    while let Some((cell, src, q, idx)) = stack.pop() {
+    // The last tuple field is the recursion depth the frame would have in
+    // the recursive formulation; it only feeds the observability layer.
+    let mut stack: Vec<(ShellCell, ParentRef, f64, Vec<u32>, u32)> =
+        vec![(cell, src, src_radius, idx, 0)];
+    while let Some((cell, src, q, idx, depth)) = stack.pop() {
         if idx.is_empty() {
             continue;
         }
+        omt_obs::obs_observe!("bisect3d/depth", u64::from(depth));
+        omt_obs::obs_count!("bisect3d/splits");
         let children = cell.split8();
         let mut parts: [Vec<u32>; 8] = Default::default();
         for p in idx {
@@ -58,6 +63,7 @@ pub(crate) fn bisect8<S: AttachSink>(
                     ParentRef::Node(rep as usize),
                     sph[rep as usize].radius,
                     part,
+                    depth + 1,
                 ));
             }
         }
@@ -94,9 +100,9 @@ pub(crate) fn bisect2_3d<S: AttachSink>(
     src_radius: f64,
     idx: Vec<u32>,
 ) -> Result<(), TreeError> {
-    let mut stack: Vec<(ShellCell, Axis3, ParentRef, f64, Vec<u32>)> =
-        vec![(cell, Axis3::Radius, src, src_radius, idx)];
-    while let Some((cell, axis, src, q, mut idx)) = stack.pop() {
+    let mut stack: Vec<(ShellCell, Axis3, ParentRef, f64, Vec<u32>, u32)> =
+        vec![(cell, Axis3::Radius, src, src_radius, idx, 0)];
+    while let Some((cell, axis, src, q, mut idx, depth)) = stack.pop() {
         match idx.len() {
             0 => continue,
             1 => {
@@ -110,6 +116,8 @@ pub(crate) fn bisect2_3d<S: AttachSink>(
             }
             _ => {}
         }
+        omt_obs::obs_observe!("bisect3d/depth", u64::from(depth));
+        omt_obs::obs_count!("bisect3d/splits");
         let a = take_closest_radius(sph, &mut idx, q);
         let c = take_closest_radius(sph, &mut idx, q);
         attach3(b, a as usize, src)?;
@@ -165,6 +173,7 @@ pub(crate) fn bisect2_3d<S: AttachSink>(
             ParentRef::Node(carrier_lo as usize),
             sph[carrier_lo as usize].radius,
             lo,
+            depth + 1,
         ));
         stack.push((
             hi_cell,
@@ -172,6 +181,7 @@ pub(crate) fn bisect2_3d<S: AttachSink>(
             ParentRef::Node(carrier_hi as usize),
             sph[carrier_hi as usize].radius,
             hi,
+            depth + 1,
         ));
     }
     Ok(())

@@ -235,6 +235,7 @@ impl DynamicOverlay {
                 self.hosts[p].delay + self.hosts[r].position.distance(&self.hosts[p].position)
             }
         };
+        let mut refreshed = 1u64;
         let mut stack = vec![root];
         while let Some(u) = stack.pop() {
             let u = u as usize;
@@ -243,9 +244,11 @@ impl DynamicOverlay {
                 let d =
                     self.hosts[u].delay + self.hosts[u].position.distance(&self.hosts[c].position);
                 self.hosts[c].delay = d;
+                refreshed += 1;
                 stack.push(c as u32);
             }
         }
+        omt_obs::obs_observe!("dynamic/refresh_size", refreshed);
     }
 
     /// Attaches a currently-detached host under `parent` (`None` = the
@@ -302,6 +305,8 @@ impl DynamicOverlay {
     /// own input hygiene, unlike the batch builders which return errors).
     pub fn join(&mut self, position: Point2) -> HostId {
         assert!(position.is_finite(), "host position must be finite");
+        let _join_span = omt_obs::obs_span!("dynamic/join");
+        omt_obs::obs_count!("dynamic/joins");
         let id = HostId(self.next_id);
         self.next_id += 1;
         // Choose a parent: best open host in the cell, walking up the
@@ -364,6 +369,7 @@ impl DynamicOverlay {
         banned: Option<&std::collections::HashSet<u32>>,
     ) -> Option<u32> {
         let mut cell = self.cell_of(position);
+        let mut hops = 0u64;
         loop {
             let best = self.cell_open[cell]
                 .iter()
@@ -374,11 +380,14 @@ impl DynamicOverlay {
                         .total_cmp(&self.attach_cost(b, position))
                 });
             if best.is_some() {
+                omt_obs::obs_observe!("dynamic/chain_len", hops);
                 return best;
             }
             if cell == 0 {
+                omt_obs::obs_observe!("dynamic/chain_len", hops);
                 return None;
             }
+            hops += 1;
             // Parent cell: flat index arithmetic of the binary layout.
             let (ring, seg) = unflatten(cell);
             cell = if ring <= 1 {
@@ -422,6 +431,8 @@ impl DynamicOverlay {
         let Some(slot) = self.slot_by_id.remove(&id.0) else {
             return Err(BuildError::UnknownHost { id: id.0 });
         };
+        let _leave_span = omt_obs::obs_span!("dynamic/leave");
+        omt_obs::obs_count!("dynamic/leaves");
         let su = slot as usize;
         debug_assert!(self.hosts[su].alive && self.hosts[su].id == id);
         let vacated_parent = self.hosts[su].parent;
@@ -551,6 +562,8 @@ impl DynamicOverlay {
 
     /// Forces a full rebuild with [`PolarGridBuilder`].
     pub fn rebuild(&mut self) {
+        let _rebuild_span = omt_obs::obs_span!("dynamic/rebuild");
+        omt_obs::obs_count!("dynamic/rebuilds");
         self.churn_since_rebuild = 0;
         let live_slots = self.live_slots_in_join_order();
         let positions: Vec<Point2> = live_slots

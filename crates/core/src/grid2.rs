@@ -126,6 +126,7 @@ impl PolarGrid2 {
     /// The cell containing a polar point (radius must satisfy `r < ρ`;
     /// larger radii clamp to the outermost ring).
     pub fn cell_of(&self, p: &PolarPoint) -> (u32, u64) {
+        omt_obs::obs_count!("grid2/cell_of");
         let ring = self.ring_of_radius(p.radius);
         if ring == 0 {
             return (0, 0);

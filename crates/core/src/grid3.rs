@@ -201,6 +201,7 @@ impl SphereGrid3 {
 
     /// The cell containing a spherical point.
     pub fn cell_of(&self, p: &SphericalPoint) -> (u32, u64) {
+        omt_obs::obs_count!("grid3/cell_of");
         let ring = self.ring_of_radius(p.radius);
         if ring == 0 {
             return (0, 0);

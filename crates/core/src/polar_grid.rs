@@ -262,6 +262,8 @@ impl PolarGridBuilder {
             return Err(BuildError::NonFinitePoint { index: bad });
         }
         let n = points.len();
+        let _build_span = omt_obs::obs_span!("polar_grid/build");
+        omt_obs::obs_count!("polar_grid/builds");
         let mut builder =
             TreeBuilder::new(source, points.to_vec()).max_out_degree(self.max_out_degree);
         if n == 0 {
@@ -281,6 +283,7 @@ impl PolarGridBuilder {
         }
 
         // Polar coordinates relative to the source (the grid pole).
+        let partition_span = omt_obs::obs_span!("polar_grid/partition");
         let polar: Vec<PolarPoint> = points
             .iter()
             .map(|p| PolarPoint::from_cartesian(&(*p - source)))
@@ -345,6 +348,8 @@ impl PolarGridBuilder {
         let (counts, members) = bucket_cells(&assignments, k);
         let cell_members = |c: usize| &members[counts[c] as usize..counts[c + 1] as usize];
         let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
+        omt_obs::obs_observe!("polar_grid/occupied_cells", occupied_cells as u64);
+        drop(partition_span);
 
         // Wire the tree in two passes: a sequential core pass (cheap —
         // O(n) representative picks plus one edge per occupied cell) that
@@ -357,6 +362,7 @@ impl PolarGridBuilder {
         let mut core_delay = 0.0f64;
         let mut jobs: Vec<CellJob> = Vec::new();
         if deg6 {
+            let core_span = omt_obs::obs_span!("polar_grid/core");
             // rep_ref[cell] = the representative the cell's children attach to.
             let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
             // Ring 0: the source is the representative; bisect the rest.
@@ -391,8 +397,11 @@ impl PolarGridBuilder {
                     });
                 }
             }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
             run_cell_jobs(&mut builder, &polar, jobs, false, threads)?;
         } else {
+            let core_span = omt_obs::obs_span!("polar_grid/core");
             // Degree-2 wiring (Section IV-A): each cell exposes a
             // "connector" with spare budget 2 that adopts the
             // representatives of the cell's occupied children.
@@ -455,9 +464,12 @@ impl PolarGridBuilder {
                     jobs.extend(job);
                 }
             }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
             run_cell_jobs(&mut builder, &polar, jobs, true, threads)?;
         }
 
+        let _finish_span = omt_obs::obs_span!("polar_grid/finish");
         let tree = builder.finish()?;
         let delay = tree.radius();
         let report = PolarGridReport {

@@ -198,12 +198,15 @@ impl SphereGridBuilder {
             return Err(BuildError::NonFinitePoint { index: bad });
         }
         let n = points.len();
+        let _build_span = omt_obs::obs_span!("sphere_grid/build");
+        omt_obs::obs_count!("sphere_grid/builds");
         let mut builder =
             TreeBuilder::new(source, points.to_vec()).max_out_degree(self.max_out_degree);
         if n == 0 {
             let tree = builder.finish()?;
             return Ok((tree, trivial_report(0)));
         }
+        let partition_span = omt_obs::obs_span!("sphere_grid/partition");
         let sph: Vec<SphericalPoint> = points
             .iter()
             .map(|p| SphericalPoint::from_cartesian(&(*p - source)))
@@ -247,6 +250,8 @@ impl SphereGridBuilder {
         let (counts, members) = bucket_cells(&assignments, k);
         let cell_members = |c: usize| &members[counts[c] as usize..counts[c + 1] as usize];
         let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
+        omt_obs::obs_observe!("sphere_grid/occupied_cells", occupied_cells as u64);
+        drop(partition_span);
 
         // Two passes, exactly like the 2-D builder: sequential core
         // wiring capturing one bisection job per cell, then the jobs.
@@ -254,6 +259,7 @@ impl SphereGridBuilder {
         let mut core_delay = 0.0f64;
         let mut jobs: Vec<CellJob3> = Vec::new();
         if deg10 {
+            let core_span = omt_obs::obs_span!("sphere_grid/core");
             let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
             jobs.push(CellJob3 {
                 cell: grid.cell(0, 0),
@@ -288,8 +294,11 @@ impl SphereGridBuilder {
                     });
                 }
             }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
             run_cell_jobs3(&mut builder, &sph, jobs, false, threads)?;
         } else {
+            let core_span = omt_obs::obs_span!("sphere_grid/core");
             let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
             {
                 let mem = cell_members(0);
@@ -352,9 +361,12 @@ impl SphereGridBuilder {
                     jobs.extend(job);
                 }
             }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
             run_cell_jobs3(&mut builder, &sph, jobs, true, threads)?;
         }
 
+        let _finish_span = omt_obs::obs_span!("sphere_grid/finish");
         let tree = builder.finish()?;
         let delay = tree.radius();
         let c = if deg10 { 2.0 } else { 4.0 };

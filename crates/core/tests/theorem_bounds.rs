@@ -1,0 +1,152 @@
+//! The paper's headline guarantees, checked end to end on seeded
+//! instances: Theorem 1's constant factors for the bisection algorithm
+//! (5 at out-degree 4, 9 at out-degree 2) on ring-segment point sets,
+//! and Theorem 2's delay envelope for `Polar_Grid` at n ∈ {1k, 10k}.
+
+use omt_core::{bounds, Bisection, PolarGridBuilder};
+use omt_geom::{Disk, Point2, PolarPoint, Region, RingSegment};
+use omt_rng::rngs::SmallRng;
+use omt_rng::{RngExt, SeedableRng};
+
+/// A seeded instance inside a thin, narrow ring segment — the geometry
+/// Section II analyses: `r > 0.6·R` and `sin a > 5a/6`.
+struct SegmentInstance {
+    source: Point2,
+    points: Vec<Point2>,
+    /// Max direct source→receiver distance: a lower bound on the delay
+    /// of ANY multicast tree over the instance.
+    opt_lower: f64,
+}
+
+fn segment_instance(seed: u64) -> SegmentInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let r_hi = rng.random_range(0.5f64..3.0);
+    let r_lo = r_hi * rng.random_range(0.65f64..0.95);
+    let width = rng.random_range(0.05f64..0.8);
+    let theta_lo = rng.random_range(0.0f64..core::f64::consts::TAU - width);
+    let seg = RingSegment::new(r_lo, r_hi, theta_lo, theta_lo + width);
+    // The Section II preconditions for the constant-factor analysis.
+    assert!(seg.r_lo() > 0.6 * seg.r_hi(), "segment not thin enough");
+    let a = seg.angle_width();
+    assert!(a.sin() > 5.0 * a / 6.0, "segment not narrow enough");
+
+    let sample = |rng: &mut SmallRng| {
+        let r = rng.random_range(seg.r_lo()..seg.r_hi());
+        let t = rng.random_range(theta_lo..theta_lo + width);
+        PolarPoint::new(r, t).to_cartesian()
+    };
+    let source = sample(&mut rng);
+    let n = rng.random_range(2usize..200);
+    let points: Vec<Point2> = (0..n).map(|_| sample(&mut rng)).collect();
+    let opt_lower = points
+        .iter()
+        .map(|p| source.distance(p))
+        .fold(0.0f64, f64::max);
+    assert!(opt_lower > 0.0, "degenerate instance");
+    SegmentInstance {
+        source,
+        points,
+        opt_lower,
+    }
+}
+
+/// Theorem 1, out-degree 4: the bisection tree's delay is within a
+/// factor 5 of the optimum on every seeded ring-segment instance.
+#[test]
+fn theorem1_factor5_at_degree4() {
+    let builder = Bisection::new(4).unwrap();
+    for seed in 0..60u64 {
+        let inst = segment_instance(seed);
+        let tree = builder.build(inst.source, &inst.points).unwrap();
+        tree.validate(Some(4)).unwrap();
+        let ratio = tree.radius() / inst.opt_lower;
+        assert!(
+            ratio <= 5.0 + 1e-9,
+            "seed {seed}: factor {ratio} exceeds 5 (radius {}, opt >= {})",
+            tree.radius(),
+            inst.opt_lower
+        );
+    }
+}
+
+/// Theorem 1, out-degree 2: the binary variant stays within a factor 9.
+#[test]
+fn theorem1_factor9_at_degree2() {
+    let builder = Bisection::new(2).unwrap();
+    for seed in 0..60u64 {
+        let inst = segment_instance(seed);
+        let tree = builder.build(inst.source, &inst.points).unwrap();
+        tree.validate(Some(2)).unwrap();
+        let ratio = tree.radius() / inst.opt_lower;
+        assert!(
+            ratio <= 9.0 + 1e-9,
+            "seed {seed}: factor {ratio} exceeds 9 (radius {}, opt >= {})",
+            tree.radius(),
+            inst.opt_lower
+        );
+    }
+}
+
+/// Equations (1) and (2) themselves: on a thin, narrow segment the
+/// analytic path bounds are below the Theorem-1 factors times the
+/// radial lower bound whenever the radial extent dominates — checked
+/// here in the regime the paper uses them (far-pole covering frames,
+/// where `R·a` is small against `R - r`).
+#[test]
+fn equations_1_and_2_respect_the_factors_in_the_covering_regime() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..200 {
+        // A covering-frame-like segment: radial extent comparable to the
+        // arc extent of a faraway pole (r/R ~ 0.95, tiny angle).
+        let r_hi = rng.random_range(10.0f64..40.0);
+        let r_lo = r_hi * rng.random_range(0.95f64..0.99);
+        let width = rng.random_range(1e-4f64..0.02);
+        let seg = RingSegment::new(r_lo, r_hi, 1.0, 1.0 + width);
+        let q = rng.random_range(r_lo..r_hi);
+        // Any tree over a segment-spanning instance pays at least the
+        // larger radial gap; the chord across the arc is a second lower
+        // bound. Use their max.
+        let radial = (r_hi - q).max(q - r_lo);
+        let chord = 2.0 * r_lo * (width / 2.0).sin();
+        let opt = radial.max(chord);
+        assert!(bounds::bisection_bound_deg4(&seg, q) <= 5.0 * opt + 1e-9);
+        assert!(bounds::bisection_bound_deg2(&seg, q) <= 9.0 * opt + 1e-9);
+    }
+}
+
+/// Theorem 2's envelope at the sizes the issue pins: for n ∈ {1k, 10k}
+/// the built tree's delay stays under the equation-(7) bound at the
+/// selected ring count, and the reported bound matches the closed form.
+#[test]
+fn theorem2_envelope_at_1k_and_10k() {
+    for &n in &[1_000usize, 10_000] {
+        for &deg in &[2u32, 6] {
+            for seed in 0..3u64 {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (n as u64) << 8);
+                let pts = Disk::unit().sample_n(&mut rng, n);
+                let (tree, report) = PolarGridBuilder::new()
+                    .max_out_degree(deg)
+                    .build_with_report(Point2::ORIGIN, &pts)
+                    .unwrap();
+                assert!(
+                    tree.radius() <= report.bound + 1e-9,
+                    "n={n} deg={deg} seed={seed}: radius {} above bound {}",
+                    tree.radius(),
+                    report.bound
+                );
+                let rho = report.lower_bound * (1.0 + 1e-9);
+                let closed = bounds::upper_bound_eq7(report.rings, deg, rho);
+                assert!(
+                    (report.bound - closed).abs() < 1e-9 * closed.max(1.0),
+                    "n={n} deg={deg}: reported {} vs closed-form {}",
+                    report.bound,
+                    closed
+                );
+                assert!(
+                    tree.radius() >= report.lower_bound - 1e-9,
+                    "radius below the instance lower bound"
+                );
+            }
+        }
+    }
+}

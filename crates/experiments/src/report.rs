@@ -129,6 +129,55 @@ pub fn series_csv(x_name: &str, names: &[&str], rows: &[(f64, Vec<f64>)]) -> Str
     out
 }
 
+/// Renders an observability registry as a markdown section: one table of
+/// span timings, one of counters, one of histogram summaries (empty
+/// string when the registry is empty). The experiment binaries append
+/// this to their reports when `OMT_TRACE` recording is on.
+pub fn metrics_markdown(reg: &omt_obs::Registry) -> String {
+    if reg.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("## Metrics\n");
+    if reg.spans().next().is_some() {
+        out.push_str("\n| Span | Count | Total ms | Mean µs | Min µs | Max µs |\n");
+        out.push_str("|:-----|------:|---------:|--------:|-------:|-------:|\n");
+        for (name, s) in reg.spans() {
+            let mean_us = if s.count == 0 {
+                0.0
+            } else {
+                s.total_ns as f64 / s.count as f64 / 1e3
+            };
+            out.push_str(&format!(
+                "| {name} | {} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+                s.count,
+                s.total_ns as f64 / 1e6,
+                mean_us,
+                s.min_ns as f64 / 1e3,
+                s.max_ns as f64 / 1e3,
+            ));
+        }
+    }
+    if reg.counters().next().is_some() {
+        out.push_str("\n| Counter | Value |\n|:--------|------:|\n");
+        for (name, v) in reg.counters() {
+            out.push_str(&format!("| {name} | {v} |\n"));
+        }
+    }
+    if reg.hists().next().is_some() {
+        out.push_str("\n| Histogram | Count | Mean | Max ≤ |\n");
+        out.push_str("|:----------|------:|-----:|------:|\n");
+        for (name, h) in reg.hists() {
+            out.push_str(&format!(
+                "| {name} | {} | {:.2} | {} |\n",
+                h.count,
+                h.mean(),
+                h.max_bucket_edge(),
+            ));
+        }
+    }
+    out
+}
+
 /// Writes `contents` to `dir/name`, creating the directory if needed, and
 /// returns the path.
 ///
@@ -209,6 +258,20 @@ mod tests {
         }];
         assert!(fig8_markdown(&rows).contains("| 1000 | 5.00 | 1.500 |"));
         assert!(fig8_csv(&rows).contains("1000,5,1.5,0.1,2,0.2"));
+    }
+
+    #[test]
+    fn metrics_markdown_renders_all_sections() {
+        let mut reg = omt_obs::Registry::default();
+        assert_eq!(metrics_markdown(&reg), "");
+        reg.record_span("phase/a", 1_500_000);
+        reg.add_counter("events", 42);
+        reg.record_observation("sizes", 8);
+        let md = metrics_markdown(&reg);
+        assert!(md.contains("## Metrics"));
+        assert!(md.contains("| phase/a | 1 | 1.500 |"));
+        assert!(md.contains("| events | 42 |"));
+        assert!(md.contains("| sizes | 1 | 8.00 |"));
     }
 
     #[test]

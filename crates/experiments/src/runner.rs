@@ -44,6 +44,8 @@ pub struct Table1Row {
 /// `n`, each built with both the degree-6 and degree-2 algorithms.
 pub fn run_table1_row(seed: u64, n: usize, trials: usize) -> Table1Row {
     assert!(trials > 0, "need at least one trial");
+    let _row_span = omt_obs::obs_span!("experiments/table1_row");
+    omt_obs::obs_observe!("experiments/trials", trials as u64);
     let mut rings = Accumulator::new();
     let mut lower = Accumulator::new();
     let mut acc6 = DegreeAcc::default();
@@ -109,6 +111,8 @@ pub struct Fig8Row {
 /// the degree-10 and degree-2 spherical algorithms.
 pub fn run_fig8_row(seed: u64, n: usize, trials: usize) -> Fig8Row {
     assert!(trials > 0, "need at least one trial");
+    let _row_span = omt_obs::obs_span!("experiments/fig8_row");
+    omt_obs::obs_observe!("experiments/trials", trials as u64);
     let mut rings = Accumulator::new();
     let mut d10 = Accumulator::new();
     let mut d2 = Accumulator::new();

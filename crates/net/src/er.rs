@@ -1,0 +1,171 @@
+//! Erdős–Rényi `G(n, p)` underlays.
+//!
+//! The classical random graph: every router pair is linked independently
+//! with probability `p`, regardless of distance. Routers still carry
+//! geometric positions so links get propagation delays and the
+//! connectivity repair can pick closest pairs, but — unlike
+//! [`WaxmanConfig`](crate::WaxmanConfig) — the *topology* is completely
+//! distance-blind. That makes `G(n, p)` the stress case for
+//! coordinate embeddings: measured delays correlate only weakly with any
+//! Euclidean placement.
+//!
+//! Not to be confused with [`gnp_embed`](crate::gnp_embed), the GNP
+//! *landmark embedding* of Ng and Zhang — an unfortunate acronym
+//! collision inherited from the literature.
+
+use omt_geom::Point2;
+use omt_rng::{Rng, RngExt};
+
+use crate::graph::{stitch_connected, Graph};
+
+/// Parameters of the Erdős–Rényi `G(n, p)` random-graph model.
+///
+/// Each of the `n·(n-1)/2` router pairs is linked independently with
+/// probability `p`. After sampling, the graph is stitched connected by
+/// linking each isolated component to its nearest neighbor component
+/// (the same repair [`WaxmanConfig`](crate::WaxmanConfig) uses).
+///
+/// # Examples
+///
+/// ```
+/// use omt_net::ErdosRenyiConfig;
+/// use omt_rng::rngs::SmallRng;
+/// use omt_rng::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let g = ErdosRenyiConfig { routers: 60, p: 0.08, ..ErdosRenyiConfig::default() }
+///     .sample(&mut rng);
+/// assert_eq!(g.len(), 60);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErdosRenyiConfig {
+    /// Number of routers.
+    pub routers: usize,
+    /// Independent link probability for every router pair.
+    pub p: f64,
+    /// Side length of the square the routers live in (e.g. km); only
+    /// affects delays, never the topology.
+    pub side: f64,
+    /// Delay per unit distance (e.g. ms/km for fiber ≈ 0.005).
+    pub delay_per_unit: f64,
+    /// Fixed per-link processing delay added to every edge.
+    pub base_delay: f64,
+}
+
+impl Default for ErdosRenyiConfig {
+    fn default() -> Self {
+        Self {
+            routers: 200,
+            // Comfortably above the ln(n)/n connectivity threshold at the
+            // default size, so stitching rarely has to intervene.
+            p: 0.05,
+            side: 1000.0,
+            delay_per_unit: 0.005,
+            base_delay: 0.1,
+        }
+    }
+}
+
+impl ErdosRenyiConfig {
+    /// Samples a connected `G(n, p)` graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0`, `p` is outside `[0, 1]`, or a delay
+    /// parameter is non-positive.
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> Graph {
+        assert!(self.routers > 0, "need at least one router");
+        assert!(
+            (0.0..=1.0).contains(&self.p),
+            "p must be a probability, got {}",
+            self.p
+        );
+        assert!(
+            self.side > 0.0 && self.delay_per_unit > 0.0,
+            "delay parameters must be positive"
+        );
+        let n = self.routers;
+        let positions: Vec<Point2> = (0..n)
+            .map(|_| {
+                Point2::new([
+                    rng.random_range(0.0..self.side),
+                    rng.random_range(0.0..self.side),
+                ])
+            })
+            .collect();
+        let mut g = Graph::new(positions);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random::<f64>() < self.p {
+                    let d = g.position(u).distance(&g.position(v));
+                    g.add_edge(u, v, self.base_delay + d * self.delay_per_unit);
+                }
+            }
+        }
+        stitch_connected(&mut g, |d| self.base_delay + d * self.delay_per_unit);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_rng::rngs::SmallRng;
+    use omt_rng::SeedableRng;
+
+    #[test]
+    fn gnp_is_connected_across_densities() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for p in [0.0, 0.01, 0.05, 0.3, 1.0] {
+            let g = ErdosRenyiConfig {
+                routers: 80,
+                p,
+                ..ErdosRenyiConfig::default()
+            }
+            .sample(&mut rng);
+            assert_eq!(g.len(), 80);
+            assert!(g.is_connected(), "p = {p} disconnected");
+        }
+    }
+
+    #[test]
+    fn complete_graph_at_p_one() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = ErdosRenyiConfig {
+            routers: 20,
+            p: 1.0,
+            ..ErdosRenyiConfig::default()
+        }
+        .sample(&mut rng);
+        assert_eq!(g.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn empty_graph_is_stitched_into_a_tree() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = ErdosRenyiConfig {
+            routers: 30,
+            p: 0.0,
+            ..ErdosRenyiConfig::default()
+        }
+        .sample(&mut rng);
+        // Stitching adds exactly a spanning tree when nothing is organic.
+        assert_eq!(g.edge_count(), 29);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn single_router_works() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = ErdosRenyiConfig {
+            routers: 1,
+            p: 0.5,
+            ..ErdosRenyiConfig::default()
+        }
+        .sample(&mut rng);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+    }
+}

@@ -196,68 +196,73 @@ impl WaxmanConfig {
                 }
             }
         }
-        self.stitch_connected(&mut g);
+        stitch_connected(&mut g, |d| self.link_delay(d));
         g
     }
 
     fn link_delay(&self, distance: f64) -> f64 {
         self.base_delay + distance * self.delay_per_unit
     }
+}
 
-    /// Links each non-root component to the main component through the
-    /// geometrically closest node pair.
-    fn stitch_connected(&self, g: &mut Graph) {
-        let n = g.len();
-        // Union-find over current edges.
-        let mut parent: Vec<u32> = (0..n as u32).collect();
-        fn find(parent: &mut [u32], x: u32) -> u32 {
-            let mut root = x;
-            while parent[root as usize] != root {
-                root = parent[root as usize];
-            }
-            let mut cur = x;
-            while parent[cur as usize] != root {
-                let next = parent[cur as usize];
-                parent[cur as usize] = root;
-                cur = next;
-            }
-            root
+/// Links each non-root component to the main component through the
+/// geometrically closest node pair, pricing repair edges with
+/// `link_delay` (a standard connectivity repair shared by all the
+/// geometric random-graph generators in this crate).
+pub(crate) fn stitch_connected(g: &mut Graph, link_delay: impl Fn(f64) -> f64) {
+    let n = g.len();
+    if n == 0 {
+        return;
+    }
+    // Union-find over current edges.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
         }
-        for u in 0..n {
-            for &(v, _) in g.neighbors(u).to_vec().iter() {
-                let (ru, rv) = (find(&mut parent, u as u32), find(&mut parent, v));
-                if ru != rv {
-                    parent[ru as usize] = rv;
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for u in 0..n {
+        for &(v, _) in g.neighbors(u).to_vec().iter() {
+            let (ru, rv) = (find(&mut parent, u as u32), find(&mut parent, v));
+            if ru != rv {
+                parent[ru as usize] = rv;
+            }
+        }
+    }
+    loop {
+        // Gather components; stop when one remains.
+        let root0 = find(&mut parent, 0);
+        let stray: Vec<u32> = (0..n as u32)
+            .filter(|&x| find(&mut parent, x) != root0)
+            .collect();
+        if stray.is_empty() {
+            break;
+        }
+        // Closest pair between the main component and any stray node.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for &s in &stray {
+            for m in 0..n {
+                if find(&mut parent, m as u32) != root0 {
+                    continue;
+                }
+                let d = g.positions[s as usize].distance(&g.positions[m]);
+                if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                    best = Some((d, s as usize, m));
                 }
             }
         }
-        loop {
-            // Gather components; stop when one remains.
-            let root0 = find(&mut parent, 0);
-            let stray: Vec<u32> = (0..n as u32)
-                .filter(|&x| find(&mut parent, x) != root0)
-                .collect();
-            if stray.is_empty() {
-                break;
-            }
-            // Closest pair between the main component and any stray node.
-            let mut best: Option<(f64, usize, usize)> = None;
-            for &s in &stray {
-                for m in 0..n {
-                    if find(&mut parent, m as u32) != root0 {
-                        continue;
-                    }
-                    let d = g.positions[s as usize].distance(&g.positions[m]);
-                    if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
-                        best = Some((d, s as usize, m));
-                    }
-                }
-            }
-            let (d, s, m) = best.expect("main component is nonempty");
-            g.add_edge(s, m, self.link_delay(d).max(f64::MIN_POSITIVE));
-            let (rs, rm) = (find(&mut parent, s as u32), find(&mut parent, m as u32));
-            parent[rs as usize] = rm;
-        }
+        let (d, s, m) = best.expect("main component is nonempty");
+        g.add_edge(s, m, link_delay(d).max(f64::MIN_POSITIVE));
+        let (rs, rm) = (find(&mut parent, s as u32), find(&mut parent, m as u32));
+        parent[rs as usize] = rm;
     }
 }
 

@@ -8,6 +8,8 @@
 //!
 //! * [`WaxmanConfig`] / [`Graph`] — Internet-like random underlays with
 //!   propagation delays and shortest-path routing.
+//! * [`ErdosRenyiConfig`] — distance-blind Erdős–Rényi `G(n, p)`
+//!   underlays, the stress case for coordinate embeddings.
 //! * [`TransitStubConfig`] — hierarchical GT-ITM-style topologies whose
 //!   stub-detour paths stress the embeddings harder than flat Waxman
 //!   graphs.
@@ -41,6 +43,7 @@
 
 mod delay;
 mod distortion;
+mod er;
 mod gnp;
 mod graph;
 mod matrix_tree;
@@ -49,6 +52,7 @@ mod vivaldi;
 
 pub use delay::{median_relative_error, stress, DelayMatrix};
 pub use distortion::{distortion_report, true_delays, true_radius, DistortionReport};
+pub use er::ErdosRenyiConfig;
 pub use gnp::{gnp_embed, GnpConfig, GnpEmbedding};
 pub use graph::{Graph, WaxmanConfig};
 pub use matrix_tree::{matrix_compact_tree, MatrixTree};

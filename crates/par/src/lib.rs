@@ -101,8 +101,13 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let _pool_span = omt_obs::span("par/map");
+    omt_obs::counter("par/maps", 1);
+    omt_obs::counter("par/items", n as u64);
     let cursor = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    // Each worker returns its results plus its thread-local metric
+    // registry, harvested just before the thread finishes.
+    let per_worker: Vec<(Vec<(usize, R)>, omt_obs::Registry)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -114,7 +119,8 @@ where
                         }
                         out.push((i, f(i, &items[i])));
                     }
-                    out
+                    omt_obs::observe("par/worker_items", out.len() as u64);
+                    (out, omt_obs::take_local())
                 })
             })
             .collect();
@@ -124,11 +130,16 @@ where
             .collect()
     });
 
-    // Deterministic join: place every result by its item index.
+    // Deterministic join: place every result by its item index, and fold
+    // worker registries into the caller's in worker-index order (the
+    // merge is commutative, so scheduling cannot change the totals).
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        debug_assert!(slots[i].is_none(), "index {i} computed twice");
-        slots[i] = Some(r);
+    for (results, registry) in per_worker {
+        omt_obs::merge_into_local(registry);
+        for (i, r) in results {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
     }
     slots
         .into_iter()
@@ -205,5 +216,28 @@ mod tests {
     #[test]
     fn available_parallelism_is_positive() {
         assert!(available_parallelism() >= 1);
+    }
+
+    /// Worker-side metrics must all land in the caller's registry at the
+    /// join point, regardless of which worker recorded them.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn worker_metrics_merge_at_join() {
+        if !omt_obs::enable_memory() {
+            return; // OMT_TRACE=0 pinned recording off for this process
+        }
+        let _ = omt_obs::take_local();
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_indexed(&items, 4, |i, &x| {
+            omt_obs::counter("par_test/claims", 1);
+            omt_obs::observe("par_test/value", x);
+            x + i as u64
+        });
+        assert_eq!(out.len(), 64);
+        let reg = omt_obs::take_local();
+        assert_eq!(reg.counter("par_test/claims"), 64);
+        assert_eq!(reg.hist("par_test/value").unwrap().count, 64);
+        assert_eq!(reg.counter("par/items"), 64);
+        assert_eq!(reg.hist("par/worker_items").unwrap().count, 4);
     }
 }

@@ -1,0 +1,185 @@
+//! Unit tests of the event loop itself: transmission slot assignment per
+//! child order, stable tie-breaking, and run-to-run determinism at a
+//! fixed seed — the guarantees the experiment pipeline's seed-pinned
+//! golden numbers rest on.
+
+use omt_geom::Point2;
+use omt_rng::rngs::SmallRng;
+use omt_rng::SeedableRng;
+use omt_sim::{simulate, simulate_with_rng, ChildOrder, SimConfig};
+use omt_tree::{MulticastTree, TreeBuilder};
+
+/// A source at the origin fanning out directly to `points`, attached in
+/// input order.
+fn fan(points: &[Point2]) -> MulticastTree<2> {
+    let mut b = TreeBuilder::new(Point2::ORIGIN, points.to_vec());
+    for i in 0..points.len() {
+        b.attach_to_source(i).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn input_order_serializes_in_attach_order() {
+    // Children at distances 3, 1, 2; serialization delay 10 dominates, so
+    // slots are read directly off the arrival times.
+    let tree = fan(&[
+        Point2::new([3.0, 0.0]),
+        Point2::new([1.0, 0.0]),
+        Point2::new([0.0, 2.0]),
+    ]);
+    let rep = simulate(
+        &tree,
+        &SimConfig {
+            serialization_delay: 10.0,
+            child_order: ChildOrder::InputOrder,
+            ..SimConfig::default()
+        },
+    );
+    assert_eq!(rep.arrival, vec![3.0, 10.0 + 1.0, 20.0 + 2.0]);
+    assert_eq!(rep.makespan, 22.0);
+}
+
+#[test]
+fn nearest_first_serializes_by_distance() {
+    let tree = fan(&[
+        Point2::new([3.0, 0.0]),
+        Point2::new([1.0, 0.0]),
+        Point2::new([0.0, 2.0]),
+    ]);
+    let rep = simulate(
+        &tree,
+        &SimConfig {
+            serialization_delay: 10.0,
+            child_order: ChildOrder::NearestFirst,
+            ..SimConfig::default()
+        },
+    );
+    // Slot order by distance: node 1 (d=1), node 2 (d=2), node 0 (d=3).
+    assert_eq!(rep.arrival, vec![20.0 + 3.0, 1.0, 10.0 + 2.0]);
+}
+
+#[test]
+fn critical_first_prioritizes_the_deep_subtree() {
+    // Node 0 is nearby but roots a long chain (0 -> 2); node 1 is a far
+    // leaf. Critical-first must schedule node 0's copy first because its
+    // delay-weighted subtree is deeper.
+    let points = vec![
+        Point2::new([1.0, 0.0]),
+        Point2::new([0.0, 2.0]),
+        Point2::new([6.0, 0.0]),
+    ];
+    let mut b = TreeBuilder::new(Point2::ORIGIN, points);
+    b.attach_to_source(0).unwrap();
+    b.attach_to_source(1).unwrap();
+    b.attach(2, 0).unwrap();
+    let tree = b.finish().unwrap();
+    let rep = simulate(
+        &tree,
+        &SimConfig {
+            serialization_delay: 10.0,
+            child_order: ChildOrder::CriticalFirst,
+            ..SimConfig::default()
+        },
+    );
+    // Source slots: node 0 (depth 1 + 5 = 6) before node 1 (depth 2).
+    assert_eq!(rep.arrival[0], 1.0);
+    assert_eq!(rep.arrival[1], 10.0 + 2.0);
+    // Node 2 follows its parent: 1.0 arrival + 5.0 propagation.
+    assert_eq!(rep.arrival[2], 6.0);
+}
+
+#[test]
+fn equal_keys_tie_break_to_attach_order() {
+    // All four children equidistant: every ordering key ties, and the
+    // stable sort must fall back to attach order — bit-identical to
+    // InputOrder for every schedule.
+    let pts: Vec<Point2> = [(2.0, 0.0), (0.0, 2.0), (-2.0, 0.0), (0.0, -2.0)]
+        .iter()
+        .map(|&(x, y)| Point2::new([x, y]))
+        .collect();
+    let tree = fan(&pts);
+    let reference = simulate(
+        &tree,
+        &SimConfig {
+            serialization_delay: 7.0,
+            child_order: ChildOrder::InputOrder,
+            ..SimConfig::default()
+        },
+    );
+    for order in [ChildOrder::NearestFirst, ChildOrder::CriticalFirst] {
+        let rep = simulate(
+            &tree,
+            &SimConfig {
+                serialization_delay: 7.0,
+                child_order: order,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(rep, reference, "{order:?} broke the tie differently");
+    }
+}
+
+#[test]
+fn arrivals_are_monotone_along_every_path() {
+    // On a deterministic config, every node must arrive strictly after
+    // the node it receives from.
+    let points: Vec<Point2> = (0..40)
+        .map(|i| {
+            let a = i as f64 * 0.37;
+            Point2::new([a.cos() * (1.0 + i as f64 * 0.05), a.sin()])
+        })
+        .collect();
+    let tree = omt_core::PolarGridBuilder::new()
+        .build(Point2::ORIGIN, &points)
+        .unwrap();
+    let rep = simulate(
+        &tree,
+        &SimConfig {
+            serialization_delay: 0.5,
+            processing_delay: 0.25,
+            ..SimConfig::default()
+        },
+    );
+    for u in tree.iter_bfs() {
+        for &c in tree.children(u) {
+            assert!(
+                rep.arrival[c as usize] > rep.arrival[u],
+                "child {c} arrived before parent {u}"
+            );
+        }
+    }
+}
+
+#[test]
+fn jittered_runs_are_deterministic_at_a_fixed_seed() {
+    let points: Vec<Point2> = (0..60)
+        .map(|i| {
+            let a = i as f64 * 0.61;
+            Point2::new([a.cos() * (0.2 + i as f64 * 0.03), a.sin() * 1.3])
+        })
+        .collect();
+    let tree = omt_core::PolarGridBuilder::new()
+        .build(Point2::ORIGIN, &points)
+        .unwrap();
+    let cfg = SimConfig {
+        serialization_delay: 0.1,
+        jitter: 0.5,
+        ..SimConfig::default()
+    };
+    let run = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        simulate_with_rng(&tree, &cfg, &mut rng)
+    };
+    // Same seed: bit-identical reports (PartialEq over all f64 fields).
+    assert_eq!(run(9), run(9));
+    assert_eq!(run(1234), run(1234));
+    // Different seeds draw different jitter somewhere.
+    assert_ne!(run(9).arrival, run(10).arrival);
+    // Jitter only ever delays packets relative to the jitter-free run.
+    let clean = simulate(&tree, &SimConfig { jitter: 0.0, ..cfg });
+    let jittered = run(9);
+    for (j, c) in jittered.arrival.iter().zip(&clean.arrival) {
+        assert!(*j >= *c - 1e-12, "jitter made a packet arrive early");
+    }
+}
