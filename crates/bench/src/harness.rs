@@ -9,7 +9,7 @@
 //! benchmark on stdout.
 //!
 //! Timing model: per benchmark, the median of three warm-up calls
-//! calibrates an iteration count targeting [`TARGET_SAMPLE_NANOS`] per
+//! calibrates an iteration count targeting ~50 ms per
 //! sample (a single call is hostage to first-call allocation and
 //! page-fault spikes), then `sample_size` samples are measured and
 //! summarized (mean/median/min/max/stddev). `--quick` runs one warm-up
@@ -27,6 +27,29 @@ use std::time::Instant;
 
 /// Per-sample time budget the calibration aims for, in nanoseconds.
 const TARGET_SAMPLE_NANOS: f64 = 50_000_000.0;
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+///
+/// This is the high-water mark since process start or since the last
+/// [`reset_peak_rss`], so measured around a benchmark it bounds the
+/// benchmark's true peak from above — exactly the number Table I's
+/// million-scale rows need.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Resets the peak-RSS high-water mark (`echo 5 > /proc/self/clear_refs`)
+/// so the next [`peak_rss_bytes`] reflects only subsequent allocations.
+/// Best-effort: silently a no-op where the kernel does not support it, in
+/// which case the reported peak is the process-lifetime high-water mark
+/// (still an upper bound).
+pub fn reset_peak_rss() {
+    let _ = fs::write("/proc/self/clear_refs", "5");
+}
 
 /// How work is counted for throughput reporting.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +102,9 @@ struct BenchStats {
     max_ns: f64,
     stddev_ns: f64,
     throughput: Option<Throughput>,
+    /// Peak resident set size observed across this benchmark's runs, in
+    /// bytes; `None` where procfs is unavailable.
+    peak_rss_bytes: Option<u64>,
     /// Compact JSON snapshot of the metrics this benchmark recorded,
     /// present only when `OMT_TRACE` recording is on.
     metrics: Option<String>,
@@ -201,7 +227,9 @@ impl BenchmarkGroup<'_> {
         // thread accumulated so far, run, harvest the delta, then put
         // both back. All no-ops when recording is off.
         let parked = omt_obs::take_local();
+        reset_peak_rss();
         f(&mut bencher);
+        let peak_rss = peak_rss_bytes();
         let recorded = omt_obs::take_local();
         let metrics = (!recorded.is_empty()).then(|| recorded.to_json());
         omt_obs::merge_into_local(parked);
@@ -229,6 +257,7 @@ impl BenchmarkGroup<'_> {
             max_ns: per_iter[per_iter.len() - 1],
             stddev_ns: var.sqrt(),
             throughput: self.throughput,
+            peak_rss_bytes: peak_rss,
             metrics,
         };
         let rate = stats
@@ -273,6 +302,9 @@ impl BenchmarkGroup<'_> {
             let rate = s
                 .per_second()
                 .map_or(String::new(), |r| format!(", \"per_second\": {r:.3}"));
+            let peak_rss = s
+                .peak_rss_bytes
+                .map_or(String::new(), |b| format!(", \"peak_rss_bytes\": {b}"));
             let metrics = s
                 .metrics
                 .as_ref()
@@ -280,7 +312,7 @@ impl BenchmarkGroup<'_> {
             out.push_str(&format!(
                 "    {{\"id\": {}, \"samples\": {}, \"iters_per_sample\": {}, \
                  \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"max_ns\": {:.1}, \"stddev_ns\": {:.1}{throughput}{rate}{metrics}}}{}\n",
+                 \"max_ns\": {:.1}, \"stddev_ns\": {:.1}{throughput}{rate}{peak_rss}{metrics}}}{}\n",
                 json_str(&s.id),
                 s.samples,
                 s.iters_per_sample,

@@ -224,6 +224,309 @@ pub(crate) fn bisect2<S: AttachSink>(
     Ok(())
 }
 
+/// A read-only structure-of-arrays view of the polar coordinates consumed
+/// by the slice-based bisection twins ([`bisect4_soa`], [`bisect2_soa`]).
+///
+/// `radius[i]` / `angle[i]` are the source-relative polar components of
+/// point `i` — the columns of `omt_geom::PointStore2`. The view is `Copy`
+/// so parallel cell workers can capture it by value.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PolarSlices<'a> {
+    /// Source-relative radii.
+    pub radius: &'a [f64],
+    /// Source-relative angles in `[0, 2π)`.
+    pub angle: &'a [f64],
+}
+
+impl PolarSlices<'_> {
+    /// Reassembles point `i` as a [`PolarPoint`] — bit-identical to the
+    /// AoS element the legacy path stores, by the `PointStore2` contract.
+    #[inline]
+    pub fn get(&self, i: u32) -> PolarPoint {
+        PolarPoint {
+            radius: self.radius[i as usize],
+            angle: self.angle[i as usize],
+        }
+    }
+
+    /// Radius of point `i`.
+    #[inline]
+    pub fn radius_of(&self, i: u32) -> f64 {
+        self.radius[i as usize]
+    }
+}
+
+/// A 4-way work frame over a range of the shared flat index array.
+#[derive(Clone, Debug)]
+struct Frame4 {
+    seg: RingSegment,
+    src: ParentRef,
+    q: f64,
+    start: u32,
+    end: u32,
+    depth: u32,
+}
+
+/// A binary work frame over a range of the shared flat index array.
+#[derive(Clone, Debug)]
+struct Frame2 {
+    seg: RingSegment,
+    axis: Axis,
+    src: ParentRef,
+    q: f64,
+    start: u32,
+    end: u32,
+    depth: u32,
+}
+
+/// Reusable scratch for the slice-based bisection twins: the explicit work
+/// stacks plus the staging buffers for stable in-place partitions. One
+/// instance is carried across all cell jobs of a build (or one per worker
+/// in the parallel path), so the steady state allocates nothing per frame.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch2 {
+    perm: Vec<u32>,
+    class: Vec<u8>,
+    stack4: Vec<Frame4>,
+    stack2: Vec<Frame2>,
+}
+
+/// Slice twin of [`take_closest_radius`]: swaps the chosen index to the
+/// back of `idx` and returns it. Equivalent to `Vec::swap_remove` on the
+/// same prefix — the surviving order of `idx[..len-1]` is identical to the
+/// `Vec` the legacy path would hold.
+fn take_closest_in_slice(radius: &[f64], idx: &mut [u32], q: f64) -> u32 {
+    debug_assert!(!idx.is_empty());
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (pos, &p) in idx.iter().enumerate() {
+        let d = (radius[p as usize] - q).abs();
+        if d < best_d {
+            best_d = d;
+            best = pos;
+        }
+    }
+    let last = idx.len() - 1;
+    idx.swap(best, last);
+    idx[last]
+}
+
+/// Slice twin of [`bisect4`]: operates in place on `idx`, a window of the
+/// flat member-index array, using `scratch` for the work stack and the
+/// stable 4-way partition. Attachment order, representative choices, and
+/// obs metrics are identical to [`bisect4`] on the same input — the
+/// per-class `Vec` pushes become a counting pass plus a stable scatter.
+pub(crate) fn bisect4_soa<S: AttachSink>(
+    b: &mut S,
+    polar: PolarSlices<'_>,
+    seg: RingSegment,
+    src: ParentRef,
+    src_radius: f64,
+    idx: &mut [u32],
+    scratch: &mut Scratch2,
+) -> Result<(), TreeError> {
+    let Scratch2 {
+        perm,
+        class,
+        stack4,
+        ..
+    } = scratch;
+    stack4.clear();
+    stack4.push(Frame4 {
+        seg,
+        src,
+        q: src_radius,
+        start: 0,
+        end: idx.len() as u32,
+        depth: 0,
+    });
+    while let Some(f) = stack4.pop() {
+        let (start, end) = (f.start as usize, f.end as usize);
+        if start == end {
+            continue;
+        }
+        omt_obs::obs_observe!("bisect2d/depth", u64::from(f.depth));
+        omt_obs::obs_count!("bisect2d/splits");
+        // Partition the window into the four sub-segments: count + classify
+        // in one pass, then scatter stably from a staged copy, preserving
+        // exactly the per-class order the legacy Vec pushes produce.
+        let children = f.seg.split4();
+        class.clear();
+        let mut counts = [0u32; 4];
+        for &p in &idx[start..end] {
+            let c = f.seg.classify4(&polar.get(p));
+            class.push(c as u8);
+            counts[c] += 1;
+        }
+        perm.clear();
+        perm.extend_from_slice(&idx[start..end]);
+        let mut bounds = [0usize; 5];
+        bounds[0] = start;
+        for c in 0..4 {
+            bounds[c + 1] = bounds[c] + counts[c] as usize;
+        }
+        let mut cursors = [bounds[0], bounds[1], bounds[2], bounds[3]];
+        for (j, &p) in perm.iter().enumerate() {
+            let c = class[j] as usize;
+            idx[cursors[c]] = p;
+            cursors[c] += 1;
+        }
+        for c in 0..4 {
+            let (cs, ce) = (bounds[c], bounds[c + 1]);
+            if cs == ce {
+                continue;
+            }
+            let rep = take_closest_in_slice(polar.radius, &mut idx[cs..ce], f.q);
+            attach(b, rep as usize, f.src)?;
+            if ce - cs > 1 {
+                stack4.push(Frame4 {
+                    seg: children[c],
+                    src: ParentRef::Node(rep as usize),
+                    q: polar.radius_of(rep),
+                    start: cs as u32,
+                    end: (ce - 1) as u32,
+                    depth: f.depth + 1,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Slice twin of [`bisect2`]: in-place binary bisection over a window of
+/// the flat member-index array. Same attachment order, carrier choices,
+/// and obs metrics as [`bisect2`].
+pub(crate) fn bisect2_soa<S: AttachSink>(
+    b: &mut S,
+    polar: PolarSlices<'_>,
+    seg: RingSegment,
+    src: ParentRef,
+    src_radius: f64,
+    idx: &mut [u32],
+    scratch: &mut Scratch2,
+) -> Result<(), TreeError> {
+    let Scratch2 { perm, stack2, .. } = scratch;
+    stack2.clear();
+    stack2.push(Frame2 {
+        seg,
+        axis: Axis::Radius,
+        src,
+        q: src_radius,
+        start: 0,
+        end: idx.len() as u32,
+        depth: 0,
+    });
+    while let Some(f) = stack2.pop() {
+        let (start, end) = (f.start as usize, f.end as usize);
+        match end - start {
+            0 => continue,
+            1 => {
+                attach(b, idx[start] as usize, f.src)?;
+                continue;
+            }
+            2 => {
+                attach(b, idx[start] as usize, f.src)?;
+                attach(b, idx[start + 1] as usize, f.src)?;
+                continue;
+            }
+            _ => {}
+        }
+        omt_obs::obs_observe!("bisect2d/depth", u64::from(f.depth));
+        omt_obs::obs_count!("bisect2d/splits");
+        let a = take_closest_in_slice(polar.radius, &mut idx[start..end], f.q);
+        let c = take_closest_in_slice(polar.radius, &mut idx[start..end - 1], f.q);
+        attach(b, a as usize, f.src)?;
+        attach(b, c as usize, f.src)?;
+        // Split the segment and hand each half to one carrier.
+        let (lo_seg, hi_seg) = match f.axis {
+            Axis::Radius => {
+                let parts = f.seg.split4();
+                // split4 yields [inner-lo, inner-hi, outer-lo, outer-hi];
+                // recombine into inner/outer halves.
+                (
+                    RingSegment::new(
+                        parts[0].r_lo(),
+                        parts[0].r_hi(),
+                        f.seg.arc().lo(),
+                        f.seg.arc().hi(),
+                    ),
+                    RingSegment::new(
+                        parts[2].r_lo(),
+                        parts[2].r_hi(),
+                        f.seg.arc().lo(),
+                        f.seg.arc().hi(),
+                    ),
+                )
+            }
+            Axis::Angle => f.seg.split_angle(),
+        };
+        // Stable lo/hi partition of the remaining window (the two carriers
+        // are parked past `rest_end` and are no longer members).
+        let rest_end = end - 2;
+        let rm = 0.5 * (f.seg.r_lo() + f.seg.r_hi());
+        let am = f.seg.arc().mid();
+        let is_hi = |p: u32| match f.axis {
+            Axis::Radius => polar.radius[p as usize] >= rm,
+            Axis::Angle => polar.angle[p as usize] >= am,
+        };
+        perm.clear();
+        perm.extend_from_slice(&idx[start..rest_end]);
+        let mut w = start;
+        for &p in perm.iter() {
+            if !is_hi(p) {
+                idx[w] = p;
+                w += 1;
+            }
+        }
+        let mid = w;
+        for &p in perm.iter() {
+            if is_hi(p) {
+                idx[w] = p;
+                w += 1;
+            }
+        }
+        debug_assert_eq!(w, rest_end);
+        // Give the lower half to the carrier closer to it in the split
+        // coordinate, to avoid pointless criss-crossing.
+        let (pa, pc) = (polar.get(a), polar.get(c));
+        let (carrier_lo, carrier_hi) = match f.axis {
+            Axis::Radius => {
+                if pa.radius <= pc.radius {
+                    (a, c)
+                } else {
+                    (c, a)
+                }
+            }
+            Axis::Angle => {
+                if pa.angle <= pc.angle {
+                    (a, c)
+                } else {
+                    (c, a)
+                }
+            }
+        };
+        stack2.push(Frame2 {
+            seg: lo_seg,
+            axis: f.axis.next(),
+            src: ParentRef::Node(carrier_lo as usize),
+            q: polar.radius_of(carrier_lo),
+            start: start as u32,
+            end: mid as u32,
+            depth: f.depth + 1,
+        });
+        stack2.push(Frame2 {
+            seg: hi_seg,
+            axis: f.axis.next(),
+            src: ParentRef::Node(carrier_hi as usize),
+            q: polar.radius_of(carrier_hi),
+            start: mid as u32,
+            end: rest_end as u32,
+            depth: f.depth + 1,
+        });
+    }
+    Ok(())
+}
+
 /// A frame for running the bisection algorithm on an arbitrary point set:
 /// a far-away pole so that the covering ring segment is thin
 /// (`r > 0.6 R`) and narrow (`sin a > 5a/6`), as Section II requires for
@@ -611,5 +914,87 @@ mod tests {
         let got = take_closest_radius(&polar, &mut idx, 3.0);
         assert_eq!(got, 2);
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn take_closest_slice_twin_preserves_vec_order() {
+        // The slice twin must leave the surviving window in exactly the
+        // order Vec::swap_remove leaves the Vec, including on ties (first
+        // minimum wins in both).
+        let radius = vec![3.0, 1.0, 3.0, 2.0, 2.0];
+        let polar: Vec<PolarPoint> = radius.iter().map(|&r| PolarPoint::new(r, 0.0)).collect();
+        let mut as_vec: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let mut as_slice: Vec<u32> = as_vec.clone();
+        for q in [2.0, 3.0, 0.0] {
+            let from_vec = take_closest_radius(&polar, &mut as_vec, q);
+            let len = as_slice.len();
+            let from_slice = take_closest_in_slice(&radius, &mut as_slice[..len], q);
+            as_slice.truncate(len - 1);
+            assert_eq!(from_vec, from_slice);
+            assert_eq!(as_vec, as_slice);
+        }
+    }
+
+    #[test]
+    fn soa_twins_emit_identical_edge_lists() {
+        use crate::sink::EdgeList;
+        let pts = disk_points(400, 77);
+        let frame = CoveringFrame::new(Point2::ORIGIN, &pts).unwrap();
+        let radius: Vec<f64> = frame.polar.iter().map(|p| p.radius).collect();
+        let angle: Vec<f64> = frame.polar.iter().map(|p| p.angle).collect();
+        let slices = PolarSlices {
+            radius: &radius,
+            angle: &angle,
+        };
+        let idx: Vec<u32> = (0..pts.len() as u32).collect();
+        let mut scratch = Scratch2::default();
+
+        let mut legacy4 = EdgeList::default();
+        bisect4(
+            &mut legacy4,
+            &frame.polar,
+            frame.segment,
+            ParentRef::Source,
+            frame.source_polar.radius,
+            idx.clone(),
+        )
+        .unwrap();
+        let mut soa4 = EdgeList::default();
+        let mut idx4 = idx.clone();
+        bisect4_soa(
+            &mut soa4,
+            slices,
+            frame.segment,
+            ParentRef::Source,
+            frame.source_polar.radius,
+            &mut idx4,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(legacy4.0, soa4.0, "deg-4 edge emission diverged");
+
+        let mut legacy2 = EdgeList::default();
+        bisect2(
+            &mut legacy2,
+            &frame.polar,
+            frame.segment,
+            ParentRef::Source,
+            frame.source_polar.radius,
+            idx.clone(),
+        )
+        .unwrap();
+        let mut soa2 = EdgeList::default();
+        let mut idx2 = idx;
+        bisect2_soa(
+            &mut soa2,
+            slices,
+            frame.segment,
+            ParentRef::Source,
+            frame.source_polar.radius,
+            &mut idx2,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(legacy2.0, soa2.0, "deg-2 edge emission diverged");
     }
 }

@@ -187,6 +187,290 @@ pub(crate) fn bisect2_3d<S: AttachSink>(
     Ok(())
 }
 
+/// A read-only structure-of-arrays view of spherical coordinates: the
+/// columns of `omt_geom::PointStore3`, consumed by the slice-based 3-D
+/// bisection twins.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SphSlices<'a> {
+    /// Source-relative radii.
+    pub radius: &'a [f64],
+    /// Source-relative azimuths in `[0, 2π)`.
+    pub azimuth: &'a [f64],
+    /// Source-relative polar-angle cosines in `[-1, 1]`.
+    pub cos_polar: &'a [f64],
+}
+
+impl SphSlices<'_> {
+    /// Reassembles point `i` as a [`SphericalPoint`] — bit-identical to
+    /// the AoS element by the `PointStore3` contract.
+    #[inline]
+    pub fn get(&self, i: u32) -> SphericalPoint {
+        SphericalPoint {
+            radius: self.radius[i as usize],
+            azimuth: self.azimuth[i as usize],
+            cos_polar: self.cos_polar[i as usize],
+        }
+    }
+
+    /// Radius of point `i`.
+    #[inline]
+    pub fn radius_of(&self, i: u32) -> f64 {
+        self.radius[i as usize]
+    }
+}
+
+/// An 8-way work frame over a range of the shared flat index array.
+#[derive(Clone, Debug)]
+struct Frame8 {
+    cell: ShellCell,
+    src: ParentRef,
+    q: f64,
+    start: u32,
+    end: u32,
+    depth: u32,
+}
+
+/// A binary 3-D work frame over a range of the shared flat index array.
+#[derive(Clone, Debug)]
+struct Frame2x3 {
+    cell: ShellCell,
+    axis: Axis3,
+    src: ParentRef,
+    q: f64,
+    start: u32,
+    end: u32,
+    depth: u32,
+}
+
+/// Reusable scratch for the slice-based 3-D bisection twins (see
+/// `bisect2d::Scratch2` for the rationale).
+#[derive(Debug, Default)]
+pub(crate) struct Scratch3 {
+    perm: Vec<u32>,
+    class: Vec<u8>,
+    stack8: Vec<Frame8>,
+    stack2: Vec<Frame2x3>,
+}
+
+/// Slice twin of [`take_closest_radius`]: swap-to-back removal with the
+/// same first-minimum tie rule and the same surviving order.
+fn take_closest_in_slice(radius: &[f64], idx: &mut [u32], q: f64) -> u32 {
+    debug_assert!(!idx.is_empty());
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (pos, &p) in idx.iter().enumerate() {
+        let d = (radius[p as usize] - q).abs();
+        if d < best_d {
+            best_d = d;
+            best = pos;
+        }
+    }
+    let last = idx.len() - 1;
+    idx.swap(best, last);
+    idx[last]
+}
+
+/// Slice twin of [`bisect8`]: in-place octant bisection over a window of
+/// the flat member-index array, emitting the identical attachment sequence.
+pub(crate) fn bisect8_soa<S: AttachSink>(
+    b: &mut S,
+    sph: SphSlices<'_>,
+    cell: ShellCell,
+    src: ParentRef,
+    src_radius: f64,
+    idx: &mut [u32],
+    scratch: &mut Scratch3,
+) -> Result<(), TreeError> {
+    let Scratch3 {
+        perm,
+        class,
+        stack8,
+        ..
+    } = scratch;
+    stack8.clear();
+    stack8.push(Frame8 {
+        cell,
+        src,
+        q: src_radius,
+        start: 0,
+        end: idx.len() as u32,
+        depth: 0,
+    });
+    while let Some(f) = stack8.pop() {
+        let (start, end) = (f.start as usize, f.end as usize);
+        if start == end {
+            continue;
+        }
+        omt_obs::obs_observe!("bisect3d/depth", u64::from(f.depth));
+        omt_obs::obs_count!("bisect3d/splits");
+        let children = f.cell.split8();
+        // Stable 8-way partition: classify + count, then scatter from a
+        // staged copy, preserving the legacy per-octant push order.
+        class.clear();
+        let mut counts = [0u32; 8];
+        for &p in &idx[start..end] {
+            let c = f.cell.classify8(&sph.get(p));
+            class.push(c as u8);
+            counts[c] += 1;
+        }
+        perm.clear();
+        perm.extend_from_slice(&idx[start..end]);
+        let mut bounds = [0usize; 9];
+        bounds[0] = start;
+        for c in 0..8 {
+            bounds[c + 1] = bounds[c] + counts[c] as usize;
+        }
+        let mut cursors = [0usize; 8];
+        cursors.copy_from_slice(&bounds[..8]);
+        for (j, &p) in perm.iter().enumerate() {
+            let c = class[j] as usize;
+            idx[cursors[c]] = p;
+            cursors[c] += 1;
+        }
+        for c in 0..8 {
+            let (cs, ce) = (bounds[c], bounds[c + 1]);
+            if cs == ce {
+                continue;
+            }
+            let rep = take_closest_in_slice(sph.radius, &mut idx[cs..ce], f.q);
+            attach3(b, rep as usize, f.src)?;
+            if ce - cs > 1 {
+                stack8.push(Frame8 {
+                    cell: children[c],
+                    src: ParentRef::Node(rep as usize),
+                    q: sph.radius_of(rep),
+                    start: cs as u32,
+                    end: (ce - 1) as u32,
+                    depth: f.depth + 1,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Slice twin of [`bisect2_3d`]: in-place binary bisection along cycling
+/// radius → azimuth → z axes, emitting the identical attachment sequence.
+pub(crate) fn bisect2_3d_soa<S: AttachSink>(
+    b: &mut S,
+    sph: SphSlices<'_>,
+    cell: ShellCell,
+    src: ParentRef,
+    src_radius: f64,
+    idx: &mut [u32],
+    scratch: &mut Scratch3,
+) -> Result<(), TreeError> {
+    let Scratch3 { perm, stack2, .. } = scratch;
+    stack2.clear();
+    stack2.push(Frame2x3 {
+        cell,
+        axis: Axis3::Radius,
+        src,
+        q: src_radius,
+        start: 0,
+        end: idx.len() as u32,
+        depth: 0,
+    });
+    while let Some(f) = stack2.pop() {
+        let (start, end) = (f.start as usize, f.end as usize);
+        match end - start {
+            0 => continue,
+            1 => {
+                attach3(b, idx[start] as usize, f.src)?;
+                continue;
+            }
+            2 => {
+                attach3(b, idx[start] as usize, f.src)?;
+                attach3(b, idx[start + 1] as usize, f.src)?;
+                continue;
+            }
+            _ => {}
+        }
+        omt_obs::obs_observe!("bisect3d/depth", u64::from(f.depth));
+        omt_obs::obs_count!("bisect3d/splits");
+        let a = take_closest_in_slice(sph.radius, &mut idx[start..end], f.q);
+        let c = take_closest_in_slice(sph.radius, &mut idx[start..end - 1], f.q);
+        attach3(b, a as usize, f.src)?;
+        attach3(b, c as usize, f.src)?;
+        let rm = 0.5 * (f.cell.r_lo() + f.cell.r_hi());
+        let am = f.cell.arc().mid();
+        let (z_lo, z_hi) = f.cell.z_range();
+        let zm = 0.5 * (z_lo + z_hi);
+        let coordinate = |p: &SphericalPoint| match f.axis {
+            Axis3::Radius => (p.radius, rm),
+            Axis3::Azimuth => (p.azimuth, am),
+            Axis3::Z => (p.cos_polar, zm),
+        };
+        let (lo_cell, hi_cell) = match f.axis {
+            Axis3::Radius => (
+                ShellCell::new(
+                    f.cell.r_lo(),
+                    rm,
+                    f.cell.arc().lo(),
+                    f.cell.arc().hi(),
+                    z_lo,
+                    z_hi,
+                ),
+                ShellCell::new(
+                    rm,
+                    f.cell.r_hi(),
+                    f.cell.arc().lo(),
+                    f.cell.arc().hi(),
+                    z_lo,
+                    z_hi,
+                ),
+            ),
+            Axis3::Azimuth => f.cell.split_azimuth(),
+            Axis3::Z => f.cell.split_z(),
+        };
+        // Stable lo/hi partition of the remaining window (carriers parked
+        // past `rest_end`).
+        let rest_end = end - 2;
+        perm.clear();
+        perm.extend_from_slice(&idx[start..rest_end]);
+        let mut w = start;
+        for &p in perm.iter() {
+            let (v, mid) = coordinate(&sph.get(p));
+            if v < mid {
+                idx[w] = p;
+                w += 1;
+            }
+        }
+        let mid_pos = w;
+        for &p in perm.iter() {
+            let (v, mid) = coordinate(&sph.get(p));
+            if v >= mid {
+                idx[w] = p;
+                w += 1;
+            }
+        }
+        debug_assert_eq!(w, rest_end);
+        // Carrier closer to each half (in the split coordinate) takes it.
+        let (va, _) = coordinate(&sph.get(a));
+        let (vc, _) = coordinate(&sph.get(c));
+        let (carrier_lo, carrier_hi) = if va <= vc { (a, c) } else { (c, a) };
+        stack2.push(Frame2x3 {
+            cell: lo_cell,
+            axis: f.axis.next(),
+            src: ParentRef::Node(carrier_lo as usize),
+            q: sph.radius_of(carrier_lo),
+            start: start as u32,
+            end: mid_pos as u32,
+            depth: f.depth + 1,
+        });
+        stack2.push(Frame2x3 {
+            cell: hi_cell,
+            axis: f.axis.next(),
+            src: ParentRef::Node(carrier_hi as usize),
+            q: sph.radius_of(carrier_hi),
+            start: mid_pos as u32,
+            end: rest_end as u32,
+            depth: f.depth + 1,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +581,70 @@ mod tests {
     }
 
     #[test]
+    fn soa_twins_emit_identical_edge_lists_3d() {
+        use crate::sink::EdgeList;
+        let (_, sph, idx) = setup(300, 42);
+        let radius: Vec<f64> = sph.iter().map(|p| p.radius).collect();
+        let azimuth: Vec<f64> = sph.iter().map(|p| p.azimuth).collect();
+        let cos_polar: Vec<f64> = sph.iter().map(|p| p.cos_polar).collect();
+        let slices = SphSlices {
+            radius: &radius,
+            azimuth: &azimuth,
+            cos_polar: &cos_polar,
+        };
+        let cell = ShellCell::ball(1.0 + 1e-9);
+        let mut scratch = Scratch3::default();
+
+        let mut legacy8 = EdgeList::default();
+        bisect8(
+            &mut legacy8,
+            &sph,
+            cell,
+            ParentRef::Source,
+            0.0,
+            idx.clone(),
+        )
+        .unwrap();
+        let mut soa8 = EdgeList::default();
+        let mut idx8 = idx.clone();
+        bisect8_soa(
+            &mut soa8,
+            slices,
+            cell,
+            ParentRef::Source,
+            0.0,
+            &mut idx8,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(legacy8.0, soa8.0, "deg-8 edge emission diverged");
+
+        let mut legacy2 = EdgeList::default();
+        bisect2_3d(
+            &mut legacy2,
+            &sph,
+            cell,
+            ParentRef::Source,
+            0.0,
+            idx.clone(),
+        )
+        .unwrap();
+        let mut soa2 = EdgeList::default();
+        let mut idx2 = idx;
+        bisect2_3d_soa(
+            &mut soa2,
+            slices,
+            cell,
+            ParentRef::Source,
+            0.0,
+            &mut idx2,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(legacy2.0, soa2.0, "deg-2 edge emission diverged");
+    }
+
+    #[test]
     fn fanout_chain3_attaches_everything() {
         let pts = vec![Point3::ORIGIN; 17];
         let mut b = TreeBuilder::new(Point3::ORIGIN, pts).max_out_degree(2);
@@ -339,7 +687,7 @@ impl Bisection3 {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::DegreeTooSmall`] for budgets below 2.
+    /// Returns [`crate::error::BuildError::DegreeTooSmall`] for budgets below 2.
     pub fn new(max_out_degree: u32) -> Result<Self, crate::error::BuildError> {
         if max_out_degree < 2 {
             return Err(crate::error::BuildError::DegreeTooSmall {

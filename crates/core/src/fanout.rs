@@ -4,18 +4,24 @@
 
 use omt_tree::{ParentRef, TreeBuilder, TreeError};
 
-/// Attaches all nodes of `b` in a breadth-first fan-out respecting
-/// `max_out_degree`.
+use crate::sink::{attach, AttachSink};
+
+/// Attaches nodes `0..n` to any sink in a breadth-first fan-out respecting
+/// `max_out_degree`. This is the sink-generic core shared by the legacy
+/// builder path ([`fanout_chain`]) and the arena/SoA path.
 ///
 /// # Panics
 ///
-/// Panics if `max_out_degree == 0` with a nonempty builder.
-pub(crate) fn fanout_chain<const D: usize>(
-    b: &mut TreeBuilder<D>,
+/// Panics if `max_out_degree == 0` with `n > 0`.
+pub(crate) fn fanout_sink<S: AttachSink>(
+    b: &mut S,
+    n: usize,
     max_out_degree: u32,
 ) -> Result<(), TreeError> {
-    assert!(max_out_degree >= 1, "fan-out needs a positive budget");
-    let n = b.len();
+    assert!(
+        max_out_degree >= 1 || n == 0,
+        "fan-out needs a positive budget"
+    );
     // Parents in the order they become available: the source, then every
     // node as it is attached. Each parent adopts `max_out_degree` children.
     let mut parents: Vec<ParentRef> = vec![ParentRef::Source];
@@ -26,14 +32,25 @@ pub(crate) fn fanout_chain<const D: usize>(
             head += 1;
             used = 0;
         }
-        match parents[head] {
-            ParentRef::Source => b.attach_to_source(i)?,
-            ParentRef::Node(p) => b.attach(i, p)?,
-        }
+        attach(b, i, parents[head])?;
         parents.push(ParentRef::Node(i));
         used += 1;
     }
     Ok(())
+}
+
+/// Attaches all nodes of `b` in a breadth-first fan-out respecting
+/// `max_out_degree`.
+///
+/// # Panics
+///
+/// Panics if `max_out_degree == 0` with a nonempty builder.
+pub(crate) fn fanout_chain<const D: usize>(
+    b: &mut TreeBuilder<D>,
+    max_out_degree: u32,
+) -> Result<(), TreeError> {
+    let n = b.len();
+    fanout_sink(b, n, max_out_degree)
 }
 
 #[cfg(test)]

@@ -346,6 +346,82 @@ mod tests {
         }
     }
 
+    /// Pseudo-random assignments over the full cell range of a level-`k_max`
+    /// grid (hash-based, no RNG dependency).
+    fn scrambled_assignments(n: usize, k_max: u32, salt: u64) -> Assignments {
+        let mut ring = Vec::with_capacity(n);
+        let mut path = Vec::with_capacity(n);
+        for p in 0..n as u64 {
+            // SplitMix64 finalizer: well-mixed, deterministic.
+            let mut z = p.wrapping_add(salt).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let r = (z % (k_max as u64 + 1)) as u32;
+            ring.push(r);
+            path.push(if r == 0 {
+                0
+            } else {
+                (z >> 8) % (1u64 << r) << (k_max - r)
+            });
+        }
+        Assignments { k_max, ring, path }
+    }
+
+    #[test]
+    fn bucket_cells_offsets_partition_everything() {
+        // The counting-sort invariants the SoA construction path relies on:
+        // `counts` is a monotone prefix array starting at 0 and ending at n,
+        // so the per-cell windows `[counts[c], counts[c+1])` are sorted,
+        // disjoint, and cover the whole member array.
+        for (n, k, salt) in [(0usize, 2u32, 1u64), (1, 3, 2), (257, 4, 3), (5000, 6, 4)] {
+            let a = scrambled_assignments(n, k + 2, salt);
+            let (counts, members) = bucket_cells(&a, k);
+            assert_eq!(counts.len(), cell_count(k) + 1);
+            assert_eq!(counts[0], 0);
+            assert_eq!(*counts.last().unwrap() as usize, n);
+            assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "offsets must be non-decreasing"
+            );
+            let total: usize = (0..cell_count(k))
+                .map(|c| (counts[c + 1] - counts[c]) as usize)
+                .sum();
+            assert_eq!(total, n, "cell occupancies must sum to n");
+            assert_eq!(members.len(), n);
+        }
+    }
+
+    #[test]
+    fn bucket_cells_members_form_a_stable_permutation() {
+        let n = 4096;
+        let k = 5;
+        let a = scrambled_assignments(n, k + 1, 99);
+        let (counts, members) = bucket_cells(&a, k);
+        // A permutation of 0..n...
+        let mut seen = vec![false; n];
+        for &m in &members {
+            assert!(!seen[m as usize], "duplicate member {m}");
+            seen[m as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // ...where every member sits in the window of its own cell, and the
+        // scatter is stable: within a cell, point indices stay in input
+        // order (the property the legacy per-cell `Vec` push order had,
+        // which the bisection twins' parity depends on).
+        for c in 0..cell_count(k) {
+            let window = &members[counts[c] as usize..counts[c + 1] as usize];
+            assert!(
+                window.windows(2).all(|w| w[0] < w[1]),
+                "cell {c}: members not in input order"
+            );
+            for &p in window {
+                let (r, s) = a.cell_at(p as usize, k);
+                assert_eq!(cell_index(r, s), c, "member {p} bucketed into wrong cell");
+            }
+        }
+    }
+
     #[test]
     fn finest_level_grows_with_n() {
         assert_eq!(finest_level(0), 0);

@@ -63,7 +63,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bisect2d;
 mod bisect3d;

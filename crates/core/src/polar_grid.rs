@@ -21,15 +21,18 @@
 //! (Section IV-C): the covering disk is built around the source, and the
 //! active-cell rule tolerates the empty cells outside the region.
 
-use omt_geom::{Point2, PolarPoint};
-use omt_tree::{MulticastTree, ParentRef, TreeBuilder};
+use omt_geom::{Point2, PointStore2, PolarPoint};
+use omt_tree::{MulticastTree, ParentRef, TreeArena, TreeBuilder};
 
 use omt_geom::RingSegment;
 use omt_tree::TreeError;
 
-use crate::bisect2d::{attach, bisect2, bisect4, fanout_chain};
+use crate::bisect2d::{
+    attach, bisect2, bisect2_soa, bisect4, bisect4_soa, fanout_chain, PolarSlices, Scratch2,
+};
 use crate::bounds::upper_bound_eq7;
 use crate::error::BuildError;
+use crate::fanout::fanout_sink;
 use crate::grid2::PolarGrid2;
 use crate::kselect::{
     bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
@@ -96,6 +99,70 @@ fn run_cell_jobs(
     for list in lists {
         for (child, parent) in list? {
             attach(builder, child as usize, parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// The SoA twin of [`CellJob`]: instead of owning an index `Vec`, the job
+/// names a window `[start, end)` of the shared flat member array produced
+/// by the counting-sort partition. `Copy`, so the parallel path can hand
+/// jobs to workers without cloning index lists.
+#[derive(Clone, Copy, Debug)]
+struct SoaCellJob {
+    seg: RingSegment,
+    parent: ParentRef,
+    q: f64,
+    start: u32,
+    end: u32,
+}
+
+/// Runs the per-cell bisections of the arena/SoA path. Sequentially each
+/// job bisects its window of the flat member array **in place** (one shared
+/// scratch, zero per-job allocation); in parallel each worker copies the
+/// window into a reusable buffer, emits a private edge list, and the lists
+/// replay in cell order — the same replay machinery (and therefore the same
+/// edge set) as [`run_cell_jobs`].
+fn run_cell_jobs_soa(
+    arena: &mut TreeArena<'_, 2>,
+    polar: PolarSlices<'_>,
+    jobs: Vec<SoaCellJob>,
+    members: &mut [u32],
+    binary: bool,
+    threads: usize,
+) -> Result<(), TreeError> {
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut scratch = Scratch2::default();
+        for job in jobs {
+            let idx = &mut members[job.start as usize..job.end as usize];
+            if binary {
+                bisect2_soa(arena, polar, job.seg, job.parent, job.q, idx, &mut scratch)?;
+            } else {
+                bisect4_soa(arena, polar, job.seg, job.parent, job.q, idx, &mut scratch)?;
+            }
+        }
+        return Ok(());
+    }
+    let members_ro: &[u32] = members;
+    let lists = omt_par::par_map_with(
+        &jobs,
+        threads,
+        || (Scratch2::default(), Vec::<u32>::new()),
+        |(scratch, buf), _, job| {
+            buf.clear();
+            buf.extend_from_slice(&members_ro[job.start as usize..job.end as usize]);
+            let mut edges = EdgeList::default();
+            let result = if binary {
+                bisect2_soa(&mut edges, polar, job.seg, job.parent, job.q, buf, scratch)
+            } else {
+                bisect4_soa(&mut edges, polar, job.seg, job.parent, job.q, buf, scratch)
+            };
+            result.map(|()| edges.0)
+        },
+    );
+    for list in lists {
+        for (child, parent) in list? {
+            attach(arena, child as usize, parent)?;
         }
     }
     Ok(())
@@ -482,6 +549,442 @@ impl PolarGridBuilder {
             occupied_cells,
         };
         Ok((tree, report))
+    }
+
+    /// Builds the multicast tree from a structure-of-arrays point store
+    /// (the million-scale path).
+    ///
+    /// # Errors
+    ///
+    /// See [`PolarGridBuilder::build_store_with_report`].
+    pub fn build_store(&self, store: &PointStore2) -> Result<MulticastTree<2>, BuildError> {
+        self.build_store_with_report(store).map(|(t, _)| t)
+    }
+
+    /// Builds the multicast tree from a structure-of-arrays point store and
+    /// returns the Table-I diagnostics.
+    ///
+    /// This is the million-scale construction path: the store's coordinate
+    /// columns are borrowed by an arena builder ([`omt_tree::TreeArena`] —
+    /// preallocated flat arrays, no per-node allocation), the cell
+    /// partition is the same counting sort as the legacy path, and the
+    /// per-cell bisections run in place on windows of the flat member
+    /// array with explicit work stacks. The result is **bit-identical** to
+    /// [`PolarGridBuilder::build_with_report`] on the same input — same
+    /// radii, same edge lists — for every thread count; the parity suite
+    /// (`tests/arena_parity.rs`) enforces this.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`PolarGridBuilder::build_with_report`], in
+    /// the same order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omt_core::PolarGridBuilder;
+    /// use omt_geom::{Disk, Point2, PointStore2, Region};
+    /// use omt_rng::rngs::SmallRng;
+    /// use omt_rng::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = SmallRng::seed_from_u64(5);
+    /// let store = PointStore2::sample_region(Point2::ORIGIN, &Disk::unit(), &mut rng, 2000);
+    /// let (tree, report) = PolarGridBuilder::new()
+    ///     .max_out_degree(6)
+    ///     .build_store_with_report(&store)?;
+    /// tree.validate(Some(6))?;
+    /// assert!(report.delay <= report.bound);
+    ///
+    /// // Bit-identical to the legacy array-of-structs path:
+    /// let mut rng = SmallRng::seed_from_u64(5);
+    /// let points = Disk::unit().sample_n(&mut rng, 2000);
+    /// let legacy = PolarGridBuilder::new()
+    ///     .max_out_degree(6)
+    ///     .build(Point2::ORIGIN, &points)?;
+    /// assert_eq!(tree, legacy);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build_store_with_report(
+        &self,
+        store: &PointStore2,
+    ) -> Result<(MulticastTree<2>, PolarGridReport), BuildError> {
+        if self.max_out_degree < 2 {
+            return Err(BuildError::DegreeTooSmall {
+                got: self.max_out_degree,
+                min: 2,
+            });
+        }
+        let source = store.source();
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        let (xs, ys) = (store.xs(), store.ys());
+        if let Some(bad) = (0..store.len()).find(|&i| !(xs[i].is_finite() && ys[i].is_finite())) {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let n = store.len();
+        let _build_span = omt_obs::obs_span!("polar_grid/build");
+        omt_obs::obs_count!("polar_grid/builds");
+        let mut arena = TreeArena::new(source, [xs, ys]).max_out_degree(self.max_out_degree);
+        if n == 0 {
+            let tree = arena.into_tree()?;
+            return Ok((
+                tree,
+                PolarGridReport {
+                    rings: 0,
+                    delay: 0.0,
+                    core_delay: 0.0,
+                    bound: 0.0,
+                    lower_bound: 0.0,
+                    cells: 1,
+                    occupied_cells: 0,
+                },
+            ));
+        }
+
+        // The store's polar columns are the precomputed source-relative
+        // coordinates — bit-identical to the AoS conversion by the
+        // `PointStore2` contract.
+        let partition_span = omt_obs::obs_span!("polar_grid/partition");
+        let polar = PolarSlices {
+            radius: store.radius(),
+            angle: store.angle(),
+        };
+        let lower_bound = polar.radius.iter().copied().fold(0.0, f64::max);
+        if lower_bound == 0.0 {
+            // Every point coincides with the source.
+            fanout_sink(&mut arena, n, self.max_out_degree)?;
+            let tree = arena.into_tree()?;
+            return Ok((
+                tree,
+                PolarGridReport {
+                    rings: 0,
+                    delay: 0.0,
+                    core_delay: 0.0,
+                    bound: 0.0,
+                    lower_bound: 0.0,
+                    cells: 1,
+                    occupied_cells: 1,
+                },
+            ));
+        }
+        // Covering disk radius: strictly above the farthest point so the
+        // half-open outermost ring contains it.
+        let rho = lower_bound * (1.0 + 1e-9);
+
+        // Assign every point once at the finest level, then select k.
+        let k_max = finest_level(n);
+        let finest = PolarGrid2::new(k_max, rho);
+        let scale = (1u64 << k_max) as f64 / core::f64::consts::TAU;
+        let assignments = Assignments {
+            k_max,
+            ring: polar
+                .radius
+                .iter()
+                .map(|&r| finest.ring_of_radius(r))
+                .collect(),
+            path: polar
+                .angle
+                .iter()
+                .map(|&a| ((a * scale) as u64).min((1u64 << k_max) - 1))
+                .collect(),
+        };
+        let (k_auto, _) = select_rings(&assignments);
+        let k = match self.rings_override {
+            None => k_auto,
+            Some(req) => {
+                if req <= k_auto {
+                    req
+                } else {
+                    return Err(BuildError::InfeasibleRings {
+                        requested: req,
+                        feasible: k_auto,
+                    });
+                }
+            }
+        };
+
+        let grid = PolarGrid2::new(k, rho);
+        let deg6 = self.max_out_degree >= 6;
+
+        // Bucket points per cell (counting sort into CSR lists). `members`
+        // stays mutable: every downstream stage — representative removal,
+        // connector picks, in-place bisection — permutes windows of this
+        // one flat array instead of materializing per-cell Vecs.
+        let cells = cell_count(k);
+        let (counts, mut members) = bucket_cells(&assignments, k);
+        let cell_range = |c: usize| (counts[c] as usize, counts[c + 1] as usize);
+        let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
+        omt_obs::obs_observe!("polar_grid/occupied_cells", occupied_cells as u64);
+        drop(partition_span);
+
+        // Same two-pass wiring as the legacy path: a sequential core pass
+        // capturing one window-job per cell, then the bisection pass.
+        let threads = omt_par::resolve_threads(self.threads);
+        let mut core_delay = 0.0f64;
+        let mut jobs: Vec<SoaCellJob> = Vec::new();
+        if deg6 {
+            let core_span = omt_obs::obs_span!("polar_grid/core");
+            // rep_ref[cell] = the representative the cell's children attach to.
+            let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            // Ring 0: the source is the representative; bisect the rest.
+            jobs.push(SoaCellJob {
+                seg: grid.segment(0, 0),
+                parent: ParentRef::Source,
+                q: 0.0,
+                start: counts[0],
+                end: counts[1],
+            });
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let (cs, ce) = cell_range(c);
+                    if cs == ce {
+                        continue;
+                    }
+                    let cell_seg = grid.segment(ring, seg);
+                    let inner_mid =
+                        PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
+                    let rep = self.pick_rep_soa(polar, &members[cs..ce], inner_mid);
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach(&mut arena, rep as usize, rep_ref[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
+                    rep_ref[c] = ParentRef::Node(rep as usize);
+                    // Order-preserving removal of the representative from
+                    // the window (the legacy path's `filter(p != rep)`):
+                    // rotate it to the back and shrink the job range.
+                    let sub = &mut members[cs..ce];
+                    let pos = sub.iter().position(|&p| p == rep).expect("rep is a member");
+                    sub[pos..].rotate_left(1);
+                    jobs.push(SoaCellJob {
+                        seg: grid.segment(ring, seg),
+                        parent: ParentRef::Node(rep as usize),
+                        q: polar.radius_of(rep),
+                        start: cs as u32,
+                        end: (ce - 1) as u32,
+                    });
+                }
+            }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
+            run_cell_jobs_soa(&mut arena, polar, jobs, &mut members, false, threads)?;
+        } else {
+            let core_span = omt_obs::obs_span!("polar_grid/core");
+            // Degree-2 wiring (Section IV-A); see `wire_cell_deg2`.
+            let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            // Ring 0 — the source is the representative.
+            {
+                let nonempty = |c: usize| counts[c] != counts[c + 1];
+                let has_core_children =
+                    k >= 1 && (nonempty(cell_index(1, 0)) || nonempty(cell_index(1, 1)));
+                let (cs, ce) = cell_range(0);
+                let (conn, job) = self.wire_cell_deg2_soa(
+                    &mut arena,
+                    polar,
+                    &grid,
+                    0,
+                    0,
+                    ParentRef::Source,
+                    0.0,
+                    &mut members,
+                    cs,
+                    ce,
+                    None,
+                    has_core_children,
+                )?;
+                connector[0] = conn;
+                jobs.extend(job);
+            }
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let (cs, ce) = cell_range(c);
+                    if cs == ce {
+                        continue;
+                    }
+                    let cell_seg = grid.segment(ring, seg);
+                    let inner_mid =
+                        PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
+                    let rep = self.pick_rep_soa(polar, &members[cs..ce], inner_mid);
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach(&mut arena, rep as usize, connector[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
+                    let has_core_children = match grid.children(ring, seg) {
+                        None => false,
+                        Some(kids) => kids.iter().any(|&(r, s)| {
+                            let cc = cell_index(r, s);
+                            counts[cc] != counts[cc + 1]
+                        }),
+                    };
+                    let (conn, job) = self.wire_cell_deg2_soa(
+                        &mut arena,
+                        polar,
+                        &grid,
+                        ring,
+                        seg,
+                        ParentRef::Node(rep as usize),
+                        polar.radius_of(rep),
+                        &mut members,
+                        cs,
+                        ce,
+                        Some(rep),
+                        has_core_children,
+                    )?;
+                    connector[c] = conn;
+                    jobs.extend(job);
+                }
+            }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
+            run_cell_jobs_soa(&mut arena, polar, jobs, &mut members, true, threads)?;
+        }
+
+        let _finish_span = omt_obs::obs_span!("polar_grid/finish");
+        let tree = arena.into_tree()?;
+        let delay = tree.radius();
+        let report = PolarGridReport {
+            rings: k,
+            delay,
+            core_delay,
+            bound: upper_bound_eq7(k, self.max_out_degree, rho),
+            lower_bound,
+            cells,
+            occupied_cells,
+        };
+        Ok((tree, report))
+    }
+
+    /// SoA twin of [`PolarGridBuilder::pick_rep`]: identical comparator
+    /// expressions and tie rules over the slice view.
+    fn pick_rep_soa(&self, polar: PolarSlices<'_>, members: &[u32], inner_mid: Point2) -> u32 {
+        debug_assert!(!members.is_empty());
+        match self.rep_strategy {
+            RepStrategy::InnerArcMid => *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let da = polar.get(a).to_cartesian().distance_squared(&inner_mid);
+                    let db = polar.get(b).to_cartesian().distance_squared(&inner_mid);
+                    da.total_cmp(&db)
+                })
+                .expect("nonempty"),
+            RepStrategy::MinRadius => *members
+                .iter()
+                .min_by(|&&a, &&b| polar.radius_of(a).total_cmp(&polar.radius_of(b)))
+                .expect("nonempty"),
+            RepStrategy::MaxRadius => *members
+                .iter()
+                .max_by(|&&a, &&b| polar.radius_of(a).total_cmp(&polar.radius_of(b)))
+                .expect("nonempty"),
+            RepStrategy::First => members[0],
+        }
+    }
+
+    /// SoA twin of [`PolarGridBuilder::wire_cell_deg2`], operating in place
+    /// on the cell's window `[cs, ce)` of the flat member array.
+    ///
+    /// The legacy `Vec` manipulations map onto window operations that
+    /// provably preserve the surviving member order: the `filter(p != rep)`
+    /// copy becomes a rotate-to-back, and each `swap_remove` becomes a
+    /// swap-to-back plus a window shrink.
+    #[allow(clippy::too_many_arguments)]
+    fn wire_cell_deg2_soa(
+        &self,
+        arena: &mut TreeArena<'_, 2>,
+        polar: PolarSlices<'_>,
+        grid: &PolarGrid2,
+        ring: u32,
+        seg: u64,
+        rep_ref: ParentRef,
+        rep_radius: f64,
+        members: &mut [u32],
+        cs: usize,
+        ce: usize,
+        rep: Option<u32>,
+        has_core_children: bool,
+    ) -> Result<(ParentRef, Option<SoaCellJob>), BuildError> {
+        // Drop the representative from the window, preserving order.
+        let mut end = ce;
+        if let Some(r) = rep {
+            let sub = &mut members[cs..end];
+            let pos = sub.iter().position(|&p| p == r).expect("rep is a member");
+            sub[pos..].rotate_left(1);
+            end -= 1;
+        }
+        match end - cs {
+            0 => {
+                // Case 1: the representative alone (or the bare source for
+                // the inner disk); it has both links spare.
+                Ok((rep_ref, None))
+            }
+            1 => {
+                // Case 2: rep -> other; the other point becomes the
+                // connector with both links spare.
+                let other = members[cs];
+                attach(arena, other as usize, rep_ref)?;
+                Ok((ParentRef::Node(other as usize), None))
+            }
+            _ => {
+                // Case 3: rep -> {bisection source, connector}; the
+                // connector keeps both links for the child cells.
+                let connector = if has_core_children {
+                    let rep_pos = match rep_ref {
+                        ParentRef::Source => omt_geom::Point2::ORIGIN,
+                        ParentRef::Node(r) => polar.get(r as u32).to_cartesian(),
+                    };
+                    let pos = members[cs..end]
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            let da = polar.get(*a.1).to_cartesian().distance_squared(&rep_pos);
+                            let db = polar.get(*b.1).to_cartesian().distance_squared(&rep_pos);
+                            da.total_cmp(&db)
+                        })
+                        .map(|(i, _)| i)
+                        .expect("nonempty");
+                    let sub = &mut members[cs..end];
+                    let last = sub.len() - 1;
+                    sub.swap(pos, last);
+                    let x = sub[last];
+                    end -= 1;
+                    attach(arena, x as usize, rep_ref)?;
+                    Some(ParentRef::Node(x as usize))
+                } else {
+                    None
+                };
+                let mut job = None;
+                if end > cs {
+                    // Bisection source: radius closest to the representative.
+                    let pos = members[cs..end]
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| {
+                            (polar.radius_of(*a.1) - rep_radius)
+                                .abs()
+                                .total_cmp(&(polar.radius_of(*b.1) - rep_radius).abs())
+                        })
+                        .map(|(i, _)| i)
+                        .expect("nonempty");
+                    let sub = &mut members[cs..end];
+                    let last = sub.len() - 1;
+                    sub.swap(pos, last);
+                    let s = sub[last];
+                    end -= 1;
+                    attach(arena, s as usize, rep_ref)?;
+                    job = Some(SoaCellJob {
+                        seg: grid.segment(ring, seg),
+                        parent: ParentRef::Node(s as usize),
+                        q: polar.radius_of(s),
+                        start: cs as u32,
+                        end: end as u32,
+                    });
+                }
+                Ok((connector.unwrap_or(rep_ref), job))
+            }
+        }
     }
 
     /// Chooses the representative of a non-empty cell; `inner_mid` is the

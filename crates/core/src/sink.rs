@@ -11,7 +11,7 @@
 //! bit-identical (parent, depth, hop and CSR arrays only depend on the
 //! edge set, not on attachment order).
 
-use omt_tree::{ParentRef, TreeBuilder, TreeError};
+use omt_tree::{ParentRef, TreeArena, TreeBuilder, TreeError};
 
 /// Accepts `child -> parent` attachments emitted by the bisection
 /// subroutines.
@@ -21,6 +21,15 @@ pub(crate) trait AttachSink {
 }
 
 impl<const D: usize> AttachSink for TreeBuilder<D> {
+    fn attach_edge(&mut self, child: u32, parent: ParentRef) -> Result<(), TreeError> {
+        match parent {
+            ParentRef::Source => self.attach_to_source(child as usize),
+            ParentRef::Node(p) => self.attach(child as usize, p),
+        }
+    }
+}
+
+impl<const D: usize> AttachSink for TreeArena<'_, D> {
     fn attach_edge(&mut self, child: u32, parent: ParentRef) -> Result<(), TreeError> {
         match parent {
             ParentRef::Source => self.attach_to_source(child as usize),

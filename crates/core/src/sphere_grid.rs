@@ -3,11 +3,14 @@
 //! cell representatives, and 8-way bisection inside cells — out-degree 10
 //! (2 core + 8 bisection links), or the degree-2 wiring.
 
-use omt_geom::{Point3, ShellCell, SphericalPoint};
-use omt_tree::{MulticastTree, ParentRef, TreeBuilder, TreeError};
+use omt_geom::{Point3, PointStore3, ShellCell, SphericalPoint};
+use omt_tree::{MulticastTree, ParentRef, TreeArena, TreeBuilder, TreeError};
 
-use crate::bisect3d::{attach3, bisect2_3d, bisect8, fanout_chain3};
+use crate::bisect3d::{
+    attach3, bisect2_3d, bisect2_3d_soa, bisect8, bisect8_soa, fanout_chain3, Scratch3, SphSlices,
+};
 use crate::error::BuildError;
+use crate::fanout::fanout_sink;
 use crate::grid3::SphereGrid3;
 use crate::kselect::{
     bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
@@ -71,6 +74,65 @@ fn run_cell_jobs3(
     for list in lists {
         for (child, parent) in list? {
             attach3(builder, child as usize, parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// One deferred in-cell bisection on the SoA path: the cell's members are
+/// the window `[start, end)` of the flat, counting-sorted member array.
+#[derive(Clone, Copy, Debug)]
+struct SoaCellJob3 {
+    cell: ShellCell,
+    parent: ParentRef,
+    q: f64,
+    start: u32,
+    end: u32,
+}
+
+/// 3-D twin of `run_cell_jobs_soa` (see `crate::polar_grid`): in place on
+/// windows of the flat member array with one thread, or per-job edge
+/// lists from window copies replayed in job order with more.
+fn run_cell_jobs3_soa(
+    arena: &mut TreeArena<'_, 3>,
+    sph: SphSlices<'_>,
+    jobs: Vec<SoaCellJob3>,
+    members: &mut [u32],
+    binary: bool,
+    threads: usize,
+) -> Result<(), TreeError> {
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut scratch = Scratch3::default();
+        for job in jobs {
+            let idx = &mut members[job.start as usize..job.end as usize];
+            if binary {
+                bisect2_3d_soa(arena, sph, job.cell, job.parent, job.q, idx, &mut scratch)?;
+            } else {
+                bisect8_soa(arena, sph, job.cell, job.parent, job.q, idx, &mut scratch)?;
+            }
+        }
+        return Ok(());
+    }
+    let members_ro: &[u32] = members;
+    let lists = omt_par::par_map_with(
+        &jobs,
+        threads,
+        || (Scratch3::default(), Vec::<u32>::new()),
+        |(scratch, buf), _, job| {
+            buf.clear();
+            buf.extend_from_slice(&members_ro[job.start as usize..job.end as usize]);
+            let mut edges = EdgeList::default();
+            let result = if binary {
+                bisect2_3d_soa(&mut edges, sph, job.cell, job.parent, job.q, buf, scratch)
+            } else {
+                bisect8_soa(&mut edges, sph, job.cell, job.parent, job.q, buf, scratch)
+            };
+            result.map(|()| edges.0)
+        },
+    );
+    for list in lists {
+        for (child, parent) in list? {
+            attach3(arena, child as usize, parent)?;
         }
     }
     Ok(())
@@ -385,6 +447,273 @@ impl SphereGridBuilder {
         };
         Ok((tree, report))
     }
+
+    /// Builds the multicast tree from a structure-of-arrays point store
+    /// (the million-scale path).
+    ///
+    /// # Errors
+    ///
+    /// See [`SphereGridBuilder::build_store_with_report`].
+    pub fn build_store(&self, store: &PointStore3) -> Result<MulticastTree<3>, BuildError> {
+        self.build_store_with_report(store).map(|(t, _)| t)
+    }
+
+    /// Builds the multicast tree from a structure-of-arrays point store and
+    /// returns the diagnostics.
+    ///
+    /// The 3-D twin of
+    /// [`PolarGridBuilder::build_store_with_report`](crate::PolarGridBuilder::build_store_with_report):
+    /// arena tree construction over the store's borrowed coordinate
+    /// columns, counting-sort cell partition, in-place window bisections —
+    /// **bit-identical** to [`SphereGridBuilder::build_with_report`] on the
+    /// same input for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SphereGridBuilder::build_with_report`], in the
+    /// same order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omt_core::SphereGridBuilder;
+    /// use omt_geom::{Ball, Point3, PointStore3, Region};
+    /// use omt_rng::rngs::SmallRng;
+    /// use omt_rng::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = SmallRng::seed_from_u64(5);
+    /// let store =
+    ///     PointStore3::sample_region(Point3::ORIGIN, &Ball::<3>::unit(), &mut rng, 3000);
+    /// let (tree, report) = SphereGridBuilder::new().build_store_with_report(&store)?;
+    /// tree.validate(Some(10))?;
+    /// assert!(report.delay <= report.bound);
+    ///
+    /// let mut rng = SmallRng::seed_from_u64(5);
+    /// let points = Ball::<3>::unit().sample_n(&mut rng, 3000);
+    /// let legacy = SphereGridBuilder::new().build(Point3::ORIGIN, &points)?;
+    /// assert_eq!(tree, legacy);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build_store_with_report(
+        &self,
+        store: &PointStore3,
+    ) -> Result<(MulticastTree<3>, PolarGridReport), BuildError> {
+        if self.max_out_degree < 2 {
+            return Err(BuildError::DegreeTooSmall {
+                got: self.max_out_degree,
+                min: 2,
+            });
+        }
+        let source = store.source();
+        if !source.is_finite() {
+            return Err(BuildError::NonFiniteSource);
+        }
+        let (xs, ys, zs) = (store.xs(), store.ys(), store.zs());
+        if let Some(bad) = (0..store.len())
+            .find(|&i| !(xs[i].is_finite() && ys[i].is_finite() && zs[i].is_finite()))
+        {
+            return Err(BuildError::NonFinitePoint { index: bad });
+        }
+        let n = store.len();
+        let _build_span = omt_obs::obs_span!("sphere_grid/build");
+        omt_obs::obs_count!("sphere_grid/builds");
+        let mut arena = TreeArena::new(source, [xs, ys, zs]).max_out_degree(self.max_out_degree);
+        if n == 0 {
+            let tree = arena.into_tree()?;
+            return Ok((tree, trivial_report(0)));
+        }
+        let partition_span = omt_obs::obs_span!("sphere_grid/partition");
+        let sph = SphSlices {
+            radius: store.radius(),
+            azimuth: store.azimuth(),
+            cos_polar: store.cos_polar(),
+        };
+        let lower_bound = sph.radius.iter().copied().fold(0.0, f64::max);
+        if lower_bound == 0.0 {
+            fanout_sink(&mut arena, n, self.max_out_degree)?;
+            let tree = arena.into_tree()?;
+            let mut report = trivial_report(1);
+            report.occupied_cells = 1;
+            return Ok((tree, report));
+        }
+        let rho = lower_bound * (1.0 + 1e-9);
+
+        let k_max = finest_level(n);
+        let finest = SphereGrid3::new(k_max, rho);
+        let assignments = Assignments {
+            k_max,
+            ring: sph
+                .radius
+                .iter()
+                .map(|&r| finest.ring_of_radius(r))
+                .collect(),
+            path: (0..n as u32)
+                .map(|i| finest.angular_path(&sph.get(i)))
+                .collect(),
+        };
+        let (k_auto, _) = select_rings(&assignments);
+        let k = match self.rings_override {
+            None => k_auto,
+            Some(req) if req <= k_auto => req,
+            Some(req) => {
+                return Err(BuildError::InfeasibleRings {
+                    requested: req,
+                    feasible: k_auto,
+                })
+            }
+        };
+        let grid = SphereGrid3::new(k, rho);
+        let deg10 = self.max_out_degree >= 10;
+
+        // Bucket points per cell (counting sort); every later stage
+        // permutes windows of this one flat array.
+        let cells = cell_count(k);
+        let (counts, mut members) = bucket_cells(&assignments, k);
+        let cell_range = |c: usize| (counts[c] as usize, counts[c + 1] as usize);
+        let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
+        omt_obs::obs_observe!("sphere_grid/occupied_cells", occupied_cells as u64);
+        drop(partition_span);
+
+        let threads = omt_par::resolve_threads(self.threads);
+        let mut core_delay = 0.0f64;
+        let mut jobs: Vec<SoaCellJob3> = Vec::new();
+        if deg10 {
+            let core_span = omt_obs::obs_span!("sphere_grid/core");
+            let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            jobs.push(SoaCellJob3 {
+                cell: grid.cell(0, 0),
+                parent: ParentRef::Source,
+                q: 0.0,
+                start: counts[0],
+                end: counts[1],
+            });
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let (cs, ce) = cell_range(c);
+                    if cs == ce {
+                        continue;
+                    }
+                    let rep = pick_rep_soa(
+                        self.rep_strategy,
+                        sph,
+                        &members[cs..ce],
+                        inner_arc_mid(&grid, ring, seg),
+                    );
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach3(&mut arena, rep as usize, rep_ref[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
+                    rep_ref[c] = ParentRef::Node(rep as usize);
+                    // Order-preserving removal of the representative.
+                    let sub = &mut members[cs..ce];
+                    let pos = sub.iter().position(|&p| p == rep).expect("rep is a member");
+                    sub[pos..].rotate_left(1);
+                    jobs.push(SoaCellJob3 {
+                        cell: grid.cell(ring, seg),
+                        parent: ParentRef::Node(rep as usize),
+                        q: sph.radius_of(rep),
+                        start: cs as u32,
+                        end: (ce - 1) as u32,
+                    });
+                }
+            }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
+            run_cell_jobs3_soa(&mut arena, sph, jobs, &mut members, false, threads)?;
+        } else {
+            let core_span = omt_obs::obs_span!("sphere_grid/core");
+            let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            {
+                let nonempty = |c: usize| counts[c] != counts[c + 1];
+                let has_core_children =
+                    k >= 1 && (nonempty(cell_index(1, 0)) || nonempty(cell_index(1, 1)));
+                let (cs, ce) = cell_range(0);
+                let (conn, job) = wire_cell_deg2_3d_soa(
+                    &mut arena,
+                    sph,
+                    &grid,
+                    0,
+                    0,
+                    ParentRef::Source,
+                    0.0,
+                    &mut members,
+                    cs,
+                    ce,
+                    None,
+                    has_core_children,
+                )?;
+                connector[0] = conn;
+                jobs.extend(job);
+            }
+            for ring in 1..=k {
+                for seg in 0..(1u64 << ring) {
+                    let c = cell_index(ring, seg);
+                    let (cs, ce) = cell_range(c);
+                    if cs == ce {
+                        continue;
+                    }
+                    let rep = pick_rep_soa(
+                        self.rep_strategy,
+                        sph,
+                        &members[cs..ce],
+                        inner_arc_mid(&grid, ring, seg),
+                    );
+                    let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
+                    attach3(&mut arena, rep as usize, connector[cell_index(pr, ps)])?;
+                    core_delay =
+                        core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
+                    let has_core_children = match grid.children(ring, seg) {
+                        None => false,
+                        Some(kids) => kids.iter().any(|&(r, s)| {
+                            let cc = cell_index(r, s);
+                            counts[cc] != counts[cc + 1]
+                        }),
+                    };
+                    let (conn, job) = wire_cell_deg2_3d_soa(
+                        &mut arena,
+                        sph,
+                        &grid,
+                        ring,
+                        seg,
+                        ParentRef::Node(rep as usize),
+                        sph.radius_of(rep),
+                        &mut members,
+                        cs,
+                        ce,
+                        Some(rep),
+                        has_core_children,
+                    )?;
+                    connector[c] = conn;
+                    jobs.extend(job);
+                }
+            }
+            drop(core_span);
+            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
+            run_cell_jobs3_soa(&mut arena, sph, jobs, &mut members, true, threads)?;
+        }
+
+        let _finish_span = omt_obs::obs_span!("sphere_grid/finish");
+        let tree = arena.into_tree()?;
+        let delay = tree.radius();
+        let c = if deg10 { 2.0 } else { 4.0 };
+        let mut bound = rho + c * grid.max_angular_diameter(0);
+        for i in 1..k {
+            bound += grid.max_angular_diameter(i);
+        }
+        let report = PolarGridReport {
+            rings: k,
+            delay,
+            core_delay,
+            bound,
+            lower_bound,
+            cells,
+            occupied_cells,
+        };
+        Ok((tree, report))
+    }
 }
 
 fn trivial_report(occupied: usize) -> PolarGridReport {
@@ -507,6 +836,125 @@ fn wire_cell_deg2_3d(
                     parent: ParentRef::Node(s as usize),
                     q: sph[s as usize].radius,
                     idx: rest,
+                });
+            }
+            Ok((connector.unwrap_or(rep_ref), job))
+        }
+    }
+}
+
+/// SoA twin of [`pick_rep`]: identical comparator expressions and tie
+/// rules over the slice view.
+fn pick_rep_soa(
+    strategy: RepStrategy,
+    sph: SphSlices<'_>,
+    members: &[u32],
+    inner_mid: Point3,
+) -> u32 {
+    debug_assert!(!members.is_empty());
+    match strategy {
+        RepStrategy::InnerArcMid => *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = sph.get(a).to_cartesian().distance_squared(&inner_mid);
+                let db = sph.get(b).to_cartesian().distance_squared(&inner_mid);
+                da.total_cmp(&db)
+            })
+            .expect("nonempty"),
+        RepStrategy::MinRadius => *members
+            .iter()
+            .min_by(|&&a, &&b| sph.radius_of(a).total_cmp(&sph.radius_of(b)))
+            .expect("nonempty"),
+        RepStrategy::MaxRadius => *members
+            .iter()
+            .max_by(|&&a, &&b| sph.radius_of(a).total_cmp(&sph.radius_of(b)))
+            .expect("nonempty"),
+        RepStrategy::First => members[0],
+    }
+}
+
+/// SoA twin of [`wire_cell_deg2_3d`], operating in place on the cell's
+/// window `[cs, ce)` of the flat member array (rotate-to-back for the
+/// order-preserving `filter`, swap-to-back for each `swap_remove`).
+#[allow(clippy::too_many_arguments)]
+fn wire_cell_deg2_3d_soa(
+    arena: &mut TreeArena<'_, 3>,
+    sph: SphSlices<'_>,
+    grid: &SphereGrid3,
+    ring: u32,
+    seg: u64,
+    rep_ref: ParentRef,
+    rep_radius: f64,
+    members: &mut [u32],
+    cs: usize,
+    ce: usize,
+    rep: Option<u32>,
+    has_core_children: bool,
+) -> Result<(ParentRef, Option<SoaCellJob3>), BuildError> {
+    let mut end = ce;
+    if let Some(r) = rep {
+        let sub = &mut members[cs..end];
+        let pos = sub.iter().position(|&p| p == r).expect("rep is a member");
+        sub[pos..].rotate_left(1);
+        end -= 1;
+    }
+    match end - cs {
+        0 => Ok((rep_ref, None)),
+        1 => {
+            let other = members[cs];
+            attach3(arena, other as usize, rep_ref)?;
+            Ok((ParentRef::Node(other as usize), None))
+        }
+        _ => {
+            let connector = if has_core_children {
+                let rep_pos = match rep_ref {
+                    ParentRef::Source => omt_geom::Point3::ORIGIN,
+                    ParentRef::Node(r) => sph.get(r as u32).to_cartesian(),
+                };
+                let pos = members[cs..end]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        let da = sph.get(*a.1).to_cartesian().distance_squared(&rep_pos);
+                        let db = sph.get(*b.1).to_cartesian().distance_squared(&rep_pos);
+                        da.total_cmp(&db)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                let sub = &mut members[cs..end];
+                let last = sub.len() - 1;
+                sub.swap(pos, last);
+                let x = sub[last];
+                end -= 1;
+                attach3(arena, x as usize, rep_ref)?;
+                Some(ParentRef::Node(x as usize))
+            } else {
+                None
+            };
+            let mut job = None;
+            if end > cs {
+                let pos = members[cs..end]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (sph.radius_of(*a.1) - rep_radius)
+                            .abs()
+                            .total_cmp(&(sph.radius_of(*b.1) - rep_radius).abs())
+                    })
+                    .map(|(i, _)| i)
+                    .expect("nonempty");
+                let sub = &mut members[cs..end];
+                let last = sub.len() - 1;
+                sub.swap(pos, last);
+                let s = sub[last];
+                end -= 1;
+                attach3(arena, s as usize, rep_ref)?;
+                job = Some(SoaCellJob3 {
+                    cell: grid.cell(ring, seg),
+                    parent: ParentRef::Node(s as usize),
+                    q: sph.radius_of(s),
+                    start: cs as u32,
+                    end: end as u32,
                 });
             }
             Ok((connector.unwrap_or(rep_ref), job))

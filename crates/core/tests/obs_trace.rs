@@ -90,6 +90,37 @@ fn phase_spans_cover_the_build_and_metrics_match_the_work() {
     let reg2 = omt_obs::take_local();
     assert_eq!(reg2.counter("polar_grid/builds"), 1);
     assert_eq!(reg2.span("polar_grid/build").map(|s| s.count), Some(1));
+
+    // The arena/SoA store path records the same instrumentation: the
+    // build span with the four phases tiling at least 90% of it.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let store = omt_geom::PointStore2::sample_region(Point2::ORIGIN, &Disk::unit(), &mut rng, n);
+    let _ = omt_obs::take_local();
+    let tree = PolarGridBuilder::new().build_store(&store).unwrap();
+    assert_eq!(tree.len(), n);
+    let reg3 = omt_obs::take_local();
+    let build = reg3.span("polar_grid/build").expect("store build span");
+    assert_eq!(build.count, 1);
+    assert_eq!(reg3.counter("polar_grid/builds"), 1);
+    let mut phase_sum = 0u64;
+    for phase in [
+        "polar_grid/partition",
+        "polar_grid/core",
+        "polar_grid/cells",
+        "polar_grid/finish",
+    ] {
+        let s = reg3
+            .span(phase)
+            .unwrap_or_else(|| panic!("{phase} missing on store path"));
+        assert!(s.count >= 1, "{phase} never entered on store path");
+        phase_sum += s.total_ns;
+    }
+    assert!(phase_sum <= build.total_ns);
+    assert!(
+        phase_sum * 10 >= build.total_ns * 9,
+        "store-path phases cover only {phase_sum} of {} ns (< 90%)",
+        build.total_ns
+    );
 }
 
 #[test]

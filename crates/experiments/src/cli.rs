@@ -10,6 +10,9 @@
 //! * `--seed 2004` — experiment seed;
 //! * `--out results/` — also write CSV files into this directory;
 //! * `--quick` — use the short size sweep (up to 50k nodes).
+//! * `--store` — build through the arena/SoA million-scale path
+//!   (`build_store_with_report`); quality columns are bit-identical to
+//!   the default path, only "CPU Sec" (and memory) change.
 
 use std::path::PathBuf;
 
@@ -28,6 +31,9 @@ pub struct ExpArgs {
     pub out: Option<PathBuf>,
     /// Use the quick size sweep.
     pub quick: bool,
+    /// Build through the arena/SoA store path where the experiment
+    /// supports it (Table I).
+    pub store: bool,
 }
 
 impl ExpArgs {
@@ -68,6 +74,7 @@ impl ExpArgs {
                 }
                 "--out" => out.out = Some(PathBuf::from(value("--out")?)),
                 "--quick" => out.quick = true,
+                "--store" => out.store = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -81,7 +88,7 @@ impl ExpArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--sizes 100,1000] [--trials N] [--seed N] [--out DIR] [--quick]"
+                    "usage: [--sizes 100,1000] [--trials N] [--seed N] [--out DIR] [--quick] [--store]"
                 );
                 std::process::exit(2);
             }
@@ -119,12 +126,14 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse("--sizes 10,20 --trials 5 --seed 9 --out res --quick").unwrap();
+        let a = parse("--sizes 10,20 --trials 5 --seed 9 --out res --quick --store").unwrap();
         assert_eq!(a.sizes(), vec![10, 20]);
         assert_eq!(a.trials_for(1_000_000), 5);
         assert_eq!(a.seed(), 9);
         assert_eq!(a.out, Some(PathBuf::from("res")));
         assert!(a.quick);
+        assert!(a.store);
+        assert!(!parse("").unwrap().store);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod enclosing;
 pub mod hull;
@@ -47,6 +47,7 @@ pub mod polar;
 pub mod region;
 pub mod sample;
 pub mod segment;
+pub mod soa;
 
 pub use enclosing::{bounding_sphere, smallest_enclosing_circle, Circle, Sphere};
 pub use hull::{convex_hull, diameter};
@@ -56,3 +57,4 @@ pub use region::{
     Annulus, Ball, BoxRegion, ConvexPolygon, Disk, DynRegion2, DynRegion3, Region, Translated,
 };
 pub use segment::{RingSegment, ShellCell};
+pub use soa::{PointStore2, PointStore3};

@@ -35,7 +35,7 @@
 //! to that path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

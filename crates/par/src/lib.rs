@@ -95,10 +95,39 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map_indexed`] with per-worker scratch state.
+///
+/// `init` runs once per worker (once total on the sequential path) and the
+/// resulting state is threaded through every item that worker claims. This
+/// exists for hot paths that reuse large scratch buffers — explicit work
+/// stacks, partition scratch, per-cell index copies — across items instead
+/// of reallocating them per item.
+///
+/// The determinism contract is the same as [`par_map_indexed`], with one
+/// addition: `f` must treat the state as *scratch only*. The final result
+/// for item `i` must be a pure function of `(index, item)` — never of
+/// which worker ran it, or of what the scratch held from earlier items.
+/// Every call site in this workspace guarantees this by fully overwriting
+/// (or clearing) the scratch before use.
+pub fn par_map_with<T, R, S, F, I>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     let _pool_span = omt_obs::span("par/map");
@@ -111,13 +140,14 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, f(&mut state, i, &items[i])));
                     }
                     omt_obs::observe("par/worker_items", out.len() as u64);
                     (out, omt_obs::take_local())

@@ -1,0 +1,470 @@
+//! Arena-style tree construction over borrowed coordinate arrays.
+//!
+//! [`TreeArena`] is the million-scale twin of [`crate::TreeBuilder`]: instead of
+//! owning a `Vec<Point<D>>`, it borrows one flat `f64` slice per coordinate
+//! axis (the structure-of-arrays layout of `omt_geom::PointStore2` /
+//! `PointStore3`) and preallocates every per-node array —
+//! `parent`/`depth`/`hops`/`out_degree` plus an intrusive
+//! `first_child`/`next_sibling` sibling list — in one shot from `n`. No
+//! allocation happens per attachment, and the only full `Vec<Point<D>>` copy
+//! is materialized once, at [`TreeArena::into_tree`] time, when the finished
+//! [`MulticastTree`] needs to own its geometry.
+//!
+//! The attachment semantics — validation order, error variants, degree
+//! accounting, and the floating-point expressions for delays — are mirrored
+//! from [`crate::TreeBuilder`] operation-for-operation, so a sequence of
+//! attachments performed against a `TreeArena` produces a tree bit-identical
+//! to the same sequence against a `TreeBuilder` over the same coordinates.
+//! The parity suite in `omt-core` (`tests/arena_parity.rs`) holds both paths
+//! to that contract end-to-end.
+
+use omt_geom::Point;
+
+use crate::error::TreeError;
+use crate::tree::{MulticastTree, SOURCE_PARENT};
+
+/// Sentinel for "no node" in the intrusive sibling list.
+const NO_NODE: u32 = u32::MAX;
+
+/// Preallocated, allocation-free-per-attachment tree builder over borrowed
+/// structure-of-arrays coordinates.
+///
+/// `coords[d][i]` is the `d`-th Cartesian coordinate of receiver `i`; all
+/// `D` slices must have equal length. Unlike [`crate::TreeBuilder`] there is no
+/// per-node `Point` storage: points are reassembled on demand from the
+/// borrowed columns.
+///
+/// In addition to the parent-array bookkeeping shared with `TreeBuilder`,
+/// the arena maintains an intrusive first-child/next-sibling list updated
+/// in O(1) per attachment (children are prepended, so the list enumerates
+/// a node's children newest-first). The final CSR child layout produced by
+/// [`TreeArena::into_tree`] is derived from the parent array alone, exactly
+/// like [`crate::TreeBuilder::finish`], so the sibling list never influences the
+/// finished tree.
+///
+/// # Examples
+///
+/// ```
+/// use omt_tree::TreeArena;
+/// use omt_geom::Point2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let xs = [1.0, 1.0];
+/// let ys = [0.0, 1.0];
+/// let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]).max_out_degree(2);
+/// arena.attach_to_source(0)?;
+/// arena.attach(1, 0)?;
+/// assert_eq!(arena.children_newest_first(Some(0)).collect::<Vec<_>>(), [1]);
+/// let tree = arena.into_tree()?;
+/// assert_eq!(tree.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreeArena<'a, const D: usize> {
+    source: Point<D>,
+    coords: [&'a [f64]; D],
+    parent: Vec<u32>,
+    depth: Vec<f64>,
+    hops: Vec<u32>,
+    out_degree: Vec<u32>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    source_first_child: u32,
+    source_out_degree: u32,
+    max_out_degree: Option<u32>,
+    attached_count: usize,
+}
+
+impl<'a, const D: usize> TreeArena<'a, D> {
+    /// Creates an arena for a tree over the borrowed coordinate columns,
+    /// rooted at `source`. All per-node arrays are allocated here, sized
+    /// exactly for `n = coords[0].len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate slices have unequal lengths.
+    #[must_use]
+    pub fn new(source: Point<D>, coords: [&'a [f64]; D]) -> Self {
+        let n = coords[0].len();
+        assert!(
+            coords.iter().all(|c| c.len() == n),
+            "coordinate columns must have equal lengths"
+        );
+        Self {
+            source,
+            coords,
+            parent: vec![SOURCE_PARENT; n],
+            depth: vec![0.0; n],
+            hops: vec![0; n],
+            out_degree: vec![0; n],
+            first_child: vec![NO_NODE; n],
+            next_sibling: vec![NO_NODE; n],
+            source_first_child: NO_NODE,
+            source_out_degree: 0,
+            max_out_degree: None,
+            attached_count: 0,
+        }
+    }
+
+    /// Sets the maximum out-degree enforced on every node including the
+    /// source. Unset means unbounded.
+    #[must_use]
+    pub fn max_out_degree(mut self, bound: u32) -> Self {
+        self.max_out_degree = Some(bound);
+        self
+    }
+
+    /// Number of receiver nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no receiver nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// How many nodes have been attached so far.
+    #[must_use]
+    pub fn attached_count(&self) -> usize {
+        self.attached_count
+    }
+
+    /// Whether node `i` has been attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn is_attached(&self, i: usize) -> bool {
+        // hops == 0 exactly for unattached nodes: every attachment sets
+        // hops >= 1, so no separate `attached` array is carried.
+        self.hops[i] > 0
+    }
+
+    /// Position of receiver `i`, reassembled from the coordinate columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn point(&self, i: usize) -> Point<D> {
+        Point::new(core::array::from_fn(|d| self.coords[d][i]))
+    }
+
+    /// The source position.
+    #[must_use]
+    pub fn source(&self) -> Point<D> {
+        self.source
+    }
+
+    /// Current delay from the source to node `i`, if attached.
+    #[must_use]
+    pub fn depth_of(&self, i: usize) -> Option<f64> {
+        (self.hops.get(i).copied().unwrap_or(0) > 0).then(|| self.depth[i])
+    }
+
+    /// Iterates over the children of `parent` (`None` = the source) in
+    /// reverse attachment order, via the intrusive sibling list.
+    ///
+    /// Children are prepended on attach, so the most recently attached
+    /// child comes first. This is the O(1)-maintenance view used while the
+    /// tree is still under construction; the finished tree's CSR layout
+    /// ([`MulticastTree::children`]) lists children in index order instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is `Some(i)` with `i` out of range.
+    pub fn children_newest_first(&self, parent: Option<usize>) -> impl Iterator<Item = usize> + '_ {
+        let head = match parent {
+            None => self.source_first_child,
+            Some(p) => self.first_child[p],
+        };
+        let mut cursor = head;
+        core::iter::from_fn(move || {
+            if cursor == NO_NODE {
+                return None;
+            }
+            let node = cursor as usize;
+            cursor = self.next_sibling[node];
+            Some(node)
+        })
+    }
+
+    fn check_index(&self, i: usize) -> Result<(), TreeError> {
+        if i >= self.parent.len() {
+            Err(TreeError::NodeOutOfRange {
+                index: i,
+                len: self.parent.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Attaches node `child` directly to the source.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the index is out of range, the child is already attached, or
+    /// the source's degree budget is exhausted — the same conditions, checked
+    /// in the same order, as [`TreeBuilder::attach_to_source`].
+    ///
+    /// [`TreeBuilder::attach_to_source`]: crate::TreeBuilder::attach_to_source
+    pub fn attach_to_source(&mut self, child: usize) -> Result<(), TreeError> {
+        self.check_index(child)?;
+        if self.is_attached(child) {
+            return Err(TreeError::AlreadyAttached { index: child });
+        }
+        if let Some(bound) = self.max_out_degree {
+            if self.source_out_degree >= bound {
+                return Err(TreeError::DegreeExceeded {
+                    parent: None,
+                    max_out_degree: bound,
+                });
+            }
+        }
+        self.source_out_degree += 1;
+        self.parent[child] = SOURCE_PARENT;
+        self.depth[child] = self.source.distance(&self.point(child));
+        self.hops[child] = 1;
+        self.attached_count += 1;
+        self.next_sibling[child] = self.source_first_child;
+        self.source_first_child = child as u32;
+        Ok(())
+    }
+
+    /// Attaches node `child` under node `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either index is out of range, `child == parent`, the child
+    /// is already attached, the parent is not attached yet, or the parent's
+    /// degree budget is exhausted — the same conditions, checked in the same
+    /// order, as [`TreeBuilder::attach`].
+    ///
+    /// [`TreeBuilder::attach`]: crate::TreeBuilder::attach
+    pub fn attach(&mut self, child: usize, parent: usize) -> Result<(), TreeError> {
+        self.check_index(child)?;
+        self.check_index(parent)?;
+        if child == parent {
+            return Err(TreeError::SelfLoop { index: child });
+        }
+        if self.is_attached(child) {
+            return Err(TreeError::AlreadyAttached { index: child });
+        }
+        if !self.is_attached(parent) {
+            return Err(TreeError::ParentNotAttached { parent });
+        }
+        if let Some(bound) = self.max_out_degree {
+            if self.out_degree[parent] >= bound {
+                return Err(TreeError::DegreeExceeded {
+                    parent: Some(parent),
+                    max_out_degree: bound,
+                });
+            }
+        }
+        self.out_degree[parent] += 1;
+        self.parent[child] = parent as u32;
+        self.depth[child] = self.depth[parent] + self.point(parent).distance(&self.point(child));
+        self.hops[child] = self.hops[parent] + 1;
+        self.attached_count += 1;
+        self.next_sibling[child] = self.first_child[parent];
+        self.first_child[parent] = child as u32;
+        Ok(())
+    }
+
+    /// Finalizes the tree, materializing the owned point vector and the CSR
+    /// child layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TreeError::NotSpanning`] if any node is unattached.
+    pub fn into_tree(self) -> Result<MulticastTree<D>, TreeError> {
+        let n = self.parent.len();
+        if self.attached_count != n {
+            let first = self
+                .hops
+                .iter()
+                .position(|&h| h == 0)
+                .expect("some node is unattached");
+            return Err(TreeError::NotSpanning {
+                unattached: n - self.attached_count,
+                first,
+            });
+        }
+        // The one full point copy of the arena path: the finished tree owns
+        // its geometry.
+        let points: Vec<Point<D>> = (0..n).map(|i| self.point(i)).collect();
+        // Build the CSR children adjacency with a counting pass. Slot 0 is
+        // the source, slot i+1 is node i.
+        let mut child_offsets = vec![0u32; n + 2];
+        child_offsets[1] = self.source_out_degree;
+        child_offsets[2..n + 2].copy_from_slice(&self.out_degree);
+        for i in 1..child_offsets.len() {
+            child_offsets[i] += child_offsets[i - 1];
+        }
+        // Start cursor of each slot = offset of its range start.
+        let mut cursor: Vec<u32> = child_offsets[..n + 1].to_vec();
+        let mut child_list = vec![0u32; n];
+        for child in 0..n {
+            let p = self.parent[child];
+            let slot = if p == SOURCE_PARENT {
+                0
+            } else {
+                p as usize + 1
+            };
+            child_list[cursor[slot] as usize] = child as u32;
+            cursor[slot] += 1;
+        }
+        Ok(MulticastTree {
+            source: self.source,
+            points,
+            parent: self.parent,
+            depth: self.depth,
+            hops: self.hops,
+            child_offsets,
+            child_list,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+    use omt_geom::Point2;
+
+    fn columns(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5) - 1.0).collect();
+        (xs, ys)
+    }
+
+    fn points(xs: &[f64], ys: &[f64]) -> Vec<Point2> {
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| Point2::new([x, y]))
+            .collect()
+    }
+
+    #[test]
+    fn mirrors_builder_bit_for_bit() {
+        let (xs, ys) = columns(8);
+        let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]).max_out_degree(3);
+        let mut builder = TreeBuilder::new(Point2::ORIGIN, points(&xs, &ys)).max_out_degree(3);
+        // A mixed attachment schedule: sources, chains, fans.
+        let schedule: &[(usize, Option<usize>)] = &[
+            (3, None),
+            (0, Some(3)),
+            (5, Some(3)),
+            (1, Some(0)),
+            (2, None),
+            (4, Some(2)),
+            (6, Some(4)),
+            (7, Some(3)),
+        ];
+        for &(child, parent) in schedule {
+            match parent {
+                None => {
+                    arena.attach_to_source(child).unwrap();
+                    builder.attach_to_source(child).unwrap();
+                }
+                Some(p) => {
+                    arena.attach(child, p).unwrap();
+                    builder.attach(child, p).unwrap();
+                }
+            }
+            assert_eq!(
+                arena.depth_of(child).map(f64::to_bits),
+                builder.depth_of(child).map(f64::to_bits)
+            );
+        }
+        let a = arena.into_tree().unwrap();
+        let b = builder.finish().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_parity_with_builder() {
+        let (xs, ys) = columns(3);
+        let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]).max_out_degree(1);
+        let mut builder = TreeBuilder::new(Point2::ORIGIN, points(&xs, &ys)).max_out_degree(1);
+        assert_eq!(arena.attach(0, 0), builder.attach(0, 0)); // self-loop
+        assert_eq!(arena.attach(1, 0), builder.attach(1, 0)); // parent not attached
+        assert_eq!(arena.attach_to_source(9), builder.attach_to_source(9)); // range
+        arena.attach_to_source(0).unwrap();
+        builder.attach_to_source(0).unwrap();
+        assert_eq!(arena.attach_to_source(1), builder.attach_to_source(1)); // source full
+        assert_eq!(arena.attach(0, 1), builder.attach(0, 1)); // already attached
+        arena.attach(1, 0).unwrap();
+        builder.attach(1, 0).unwrap();
+        assert_eq!(arena.attach(2, 0), builder.attach(2, 0)); // parent full
+        assert_eq!(
+            arena.clone().into_tree().unwrap_err(),
+            builder.clone().finish().unwrap_err()
+        ); // not spanning
+    }
+
+    #[test]
+    fn sibling_list_enumerates_newest_first() {
+        let (xs, ys) = columns(5);
+        let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]);
+        arena.attach_to_source(2).unwrap();
+        arena.attach_to_source(4).unwrap();
+        arena.attach(0, 2).unwrap();
+        arena.attach(1, 2).unwrap();
+        arena.attach(3, 2).unwrap();
+        assert_eq!(
+            arena.children_newest_first(None).collect::<Vec<_>>(),
+            [4, 2]
+        );
+        assert_eq!(
+            arena.children_newest_first(Some(2)).collect::<Vec<_>>(),
+            [3, 1, 0]
+        );
+        assert_eq!(
+            arena.children_newest_first(Some(0)).count(),
+            0,
+            "leaf has no children"
+        );
+        // The finished CSR layout is index-ordered, independent of the
+        // sibling list's reverse order.
+        let tree = arena.into_tree().unwrap();
+        assert_eq!(tree.source_children(), &[2, 4]);
+        assert_eq!(tree.children(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn no_per_attachment_allocation_in_node_arrays() {
+        let (xs, ys) = columns(32);
+        let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]);
+        let parent_ptr = arena.parent.as_ptr();
+        let sibling_ptr = arena.next_sibling.as_ptr();
+        arena.attach_to_source(0).unwrap();
+        for i in 1..32 {
+            arena.attach(i, i - 1).unwrap();
+        }
+        assert_eq!(arena.parent.as_ptr(), parent_ptr);
+        assert_eq!(arena.next_sibling.as_ptr(), sibling_ptr);
+        assert_eq!(arena.attached_count(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_columns_rejected() {
+        let xs = [1.0, 2.0];
+        let ys = [1.0];
+        let _ = TreeArena::new(Point2::ORIGIN, [&xs[..], &ys[..]]);
+    }
+
+    #[test]
+    fn empty_arena_finishes_to_empty_tree() {
+        let arena: TreeArena<'_, 2> = TreeArena::new(Point2::ORIGIN, [&[], &[]]);
+        let tree = arena.into_tree().unwrap();
+        assert_eq!(tree.len(), 0);
+    }
+}

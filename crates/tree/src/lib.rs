@@ -44,8 +44,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod error;
 pub mod export;
@@ -55,6 +56,7 @@ pub mod metrics;
 pub mod svg;
 mod tree;
 
+pub use arena::TreeArena;
 pub use builder::TreeBuilder;
 pub use error::{TreeError, ValidationError};
 pub use forest::validate_parent_forest;
