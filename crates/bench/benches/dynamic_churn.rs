@@ -5,8 +5,13 @@
 //! the incremental `DynamicOverlay` maintenance (cached delays, open-host
 //! index, source out-degree counter) against the pre-change implementation
 //! (kept below as [`naive`]), replaying the *same* seeded event trace
-//! (joins : leaves ≈ 2 : 1) on both at target sizes n ∈ {2k, 20k}. Record
-//! it into the tracked results with:
+//! (joins : leaves ≈ 2 : 1) on both at target sizes n ∈ {2k, 20k}.
+//!
+//! The same group also records *sustained* throughput at million scale:
+//! a mixed 2 : 1 stream plus flash-crowd and mass-disconnect bursts over
+//! an overlay prefilled to n = 1M live hosts, on the per-event path and
+//! on `ShardedOverlay::apply_batch` at 1/2/4/8 shards (`--quick` shrinks
+//! the prefill to 20k). Record it into the tracked results with:
 //!
 //! ```sh
 //! OMT_BENCH_DIR=results cargo bench -p omt-bench --bench dynamic_churn -- dynamic_churn
@@ -15,7 +20,7 @@
 use omt_bench::disk_points;
 use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
 use omt_bench::{criterion_group, criterion_main};
-use omt_core::{DynamicOverlay, HostId, PolarGridBuilder};
+use omt_core::{ChurnEvent, DynamicOverlay, HostId, PolarGridBuilder, ShardedOverlay};
 use omt_geom::Point2;
 use omt_rng::rngs::SmallRng;
 use omt_rng::{RngExt, SeedableRng};
@@ -108,7 +113,85 @@ fn run_naive(base: &naive::NaiveOverlay, live: &[u64], plan: &[Event]) -> usize 
     live.len()
 }
 
+/// A concrete, fully-resolved event stream for the sustained benches.
+/// Leave victims are picked against a simulated replay of the prefilled
+/// overlay, so the resulting `ChurnEvent` list (with real `HostId`s)
+/// replays verbatim on the per-event path *and* on `apply_batch` — host
+/// ids are deterministic either way (monotone in join order).
+fn mixed_plan(base: &DynamicOverlay, live: &[HostId], events: usize, seed: u64) -> Vec<ChurnEvent> {
+    let mut sim = base.clone();
+    let mut live = live.to_vec();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..events)
+        .map(|_| {
+            if rng.random::<f64>() < 2.0 / 3.0 {
+                let r = rng.random::<f64>().sqrt();
+                let t: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+                let p = Point2::new([r * t.cos(), r * t.sin()]);
+                live.push(sim.join(p));
+                ChurnEvent::Join(p)
+            } else {
+                let i = rng.random_range(0..live.len());
+                let id = live.swap_remove(i);
+                sim.leave(id).expect("victim is live");
+                ChurnEvent::Leave(id)
+            }
+        })
+        .collect()
+}
+
+/// Flash crowd: a pure join burst.
+fn flash_plan(events: usize, seed: u64) -> Vec<ChurnEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..events)
+        .map(|_| {
+            let r = rng.random::<f64>().sqrt();
+            let t: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            ChurnEvent::Join(Point2::new([r * t.cos(), r * t.sin()]))
+        })
+        .collect()
+}
+
+/// Mass disconnect: distinct prefill hosts leaving back-to-back.
+fn mass_plan(live: &[HostId], events: usize, seed: u64) -> Vec<ChurnEvent> {
+    let mut pool = live.to_vec();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..events.min(pool.len()))
+        .map(|_| {
+            let i = rng.random_range(0..pool.len());
+            ChurnEvent::Leave(pool.swap_remove(i))
+        })
+        .collect()
+}
+
+/// Per-event replay of a resolved plan.
+fn run_resolved(base: &DynamicOverlay, plan: &[ChurnEvent]) -> usize {
+    let mut overlay = base.clone();
+    for ev in plan {
+        match *ev {
+            ChurnEvent::Join(p) => {
+                overlay.join(p);
+            }
+            ChurnEvent::Leave(id) => overlay.leave(id).expect("victim is live"),
+        }
+    }
+    overlay.len()
+}
+
+/// Batched replay of the same plan through the sharded engine.
+fn run_batched(base: &DynamicOverlay, shards: u32, plan: &[ChurnEvent], batch: usize) -> usize {
+    let mut overlay = ShardedOverlay::from_overlay(base.clone(), shards).expect("power of two");
+    for chunk in plan.chunks(batch) {
+        overlay.apply_batch(chunk).expect("victims are live");
+    }
+    overlay.len()
+}
+
 fn bench_churn(c: &mut Criterion) {
+    // Both bench sections must share this one group instance: two groups
+    // with the same name would each write (and so overwrite) the same
+    // BENCH_dynamic_churn.json on finish().
+    let quick = c.is_quick();
     let mut group = c.benchmark_group("dynamic_churn");
     group.sample_size(10);
     for n in [2_000usize, 20_000] {
@@ -129,6 +212,61 @@ fn bench_churn(c: &mut Criterion) {
             b.iter(|| run_naive(&base_naive, &live_naive, plan));
         });
     }
+
+    // Sustained throughput at million scale: events/s over a live overlay
+    // of n = 1M hosts (`--quick`: 20k), mixed 2 : 1 join : leave, plus the
+    // two stress scenarios (flash crowd, mass disconnect), on the
+    // per-event path and on the sharded batch engine at 1/2/4/8 shards.
+    // Every iteration clones the prefilled base on both paths, so the
+    // comparison stays symmetric; peak RSS is recorded per row by the
+    // harness. The batch engine's output is bit-identical to the
+    // per-event path (proven in omt-core's churn_fuzz suite) — only
+    // throughput is at stake here.
+    let (n, events) = if quick {
+        (20_000usize, 4_000usize)
+    } else {
+        (1_000_000, 100_000)
+    };
+    let batch = 512usize;
+    let mut base = DynamicOverlay::new(Point2::ORIGIN, 6).unwrap();
+    let live: Vec<HostId> = disk_points(n, 13).iter().map(|&p| base.join(p)).collect();
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(events as u64));
+
+    let sustained = mixed_plan(&base, &live, events, 17 + n as u64);
+    group.bench_with_input(BenchmarkId::new("sustained", n), &sustained, |b, plan| {
+        b.iter(|| run_resolved(&base, plan));
+    });
+    for shards in [1u32, 2, 4, 8] {
+        let id = BenchmarkId::new(format!("sustained-sharded{shards}"), n);
+        group.bench_with_input(id, &sustained, |b, plan| {
+            b.iter(|| run_batched(&base, shards, plan, batch));
+        });
+    }
+
+    let flash = flash_plan(events, 19 + n as u64);
+    group.bench_with_input(BenchmarkId::new("flash_crowd", n), &flash, |b, plan| {
+        b.iter(|| run_resolved(&base, plan));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("flash_crowd-sharded4", n),
+        &flash,
+        |b, plan| {
+            b.iter(|| run_batched(&base, 4, plan, batch));
+        },
+    );
+
+    let mass = mass_plan(&live, events, 23 + n as u64);
+    group.bench_with_input(BenchmarkId::new("mass_disconnect", n), &mass, |b, plan| {
+        b.iter(|| run_resolved(&base, plan));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("mass_disconnect-sharded4", n),
+        &mass,
+        |b, plan| {
+            b.iter(|| run_batched(&base, 4, plan, batch));
+        },
+    );
     group.finish();
 }
 

@@ -371,6 +371,13 @@ impl Criterion {
         c
     }
 
+    /// True when running in `--quick`/`--test` smoke mode. Benches whose
+    /// *setup* is expensive (e.g. a million-host prefill) should also
+    /// scale that down — the harness only shrinks sampling.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
     /// Start a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {

@@ -62,20 +62,36 @@ use crate::polar_grid::PolarGridBuilder;
 pub struct HostId(u64);
 
 #[derive(Clone, Debug)]
-struct Host {
-    position: Point2,
+pub(crate) struct Host {
+    pub(crate) position: Point2,
     /// Parent slot: `None` = the source (or detached, transiently inside
     /// `leave` while an orphan awaits re-homing).
-    parent: Option<u32>,
-    children: Vec<u32>,
+    pub(crate) parent: Option<u32>,
+    pub(crate) children: Vec<u32>,
     /// Cached source-to-host delay; refreshed along the subtree whenever
     /// the host is (re-)attached.
-    delay: f64,
+    pub(crate) delay: f64,
     /// Flat index of the host's current grid cell.
-    cell: u32,
-    alive: bool,
+    pub(crate) cell: u32,
+    pub(crate) alive: bool,
     /// Generation counter for id reuse protection.
-    id: HostId,
+    pub(crate) id: HostId,
+}
+
+/// Cell-granular write log feeding the sharded batch engine
+/// (`crate::sharded`). When enabled, every mutation of *search-relevant*
+/// state — an open-list change, or a cached-delay refresh of any host —
+/// records the affected cell, and a full rebuild raises a flag. The merge
+/// phase drains the log after each replayed event to decide which
+/// speculative shard proposals are still provably valid. Disabled (the
+/// default) it costs one predictable branch per mutation.
+#[derive(Clone, Debug, Default)]
+struct WriteLog {
+    enabled: bool,
+    /// Cells written since the last drain; may contain duplicates.
+    cells: Vec<u32>,
+    /// Whether a full rebuild ran since the last drain.
+    rebuilt: bool,
 }
 
 /// A multicast tree that supports joins and leaves.
@@ -103,7 +119,7 @@ struct Host {
 pub struct DynamicOverlay {
     source: Point2,
     max_out_degree: u32,
-    hosts: Vec<Host>,
+    pub(crate) hosts: Vec<Host>,
     /// Raw id -> slot of each live host.
     slot_by_id: HashMap<u64, u32>,
     /// Recycled slots of departed hosts.
@@ -111,14 +127,16 @@ pub struct DynamicOverlay {
     /// Slots of live hosts, bucketed by their current grid cell.
     cell_members: Vec<Vec<u32>>,
     /// Slots of *open* live hosts (out-degree below budget), per cell.
-    cell_open: Vec<Vec<u32>>,
+    pub(crate) cell_open: Vec<Vec<u32>>,
     /// The grid the members are bucketed against (rebuilt on churn).
-    grid: Option<PolarGrid2>,
+    pub(crate) grid: Option<PolarGrid2>,
     live: usize,
     /// Number of live hosts attached directly to the source.
     source_children: u32,
     churn_since_rebuild: usize,
     next_id: u64,
+    /// Write tracking for the sharded batch merge; off by default.
+    write_log: WriteLog,
 }
 
 impl DynamicOverlay {
@@ -151,7 +169,30 @@ impl DynamicOverlay {
             source_children: 0,
             churn_since_rebuild: 0,
             next_id: 0,
+            write_log: WriteLog::default(),
         })
+    }
+
+    /// Turns batch write tracking on or off, clearing any logged state.
+    pub(crate) fn set_write_tracking(&mut self, on: bool) {
+        self.write_log.enabled = on;
+        self.write_log.cells.clear();
+        self.write_log.rebuilt = false;
+    }
+
+    /// Appends the cells written since the last drain to `into` and
+    /// returns whether a rebuild ran since then (resetting the flag).
+    pub(crate) fn drain_writes(&mut self, into: &mut Vec<u32>) -> bool {
+        into.append(&mut self.write_log.cells);
+        std::mem::take(&mut self.write_log.rebuilt)
+    }
+
+    /// Records that `cell`'s search-relevant state changed.
+    #[inline]
+    fn note_cell_write(&mut self, cell: u32) {
+        if self.write_log.enabled {
+            self.write_log.cells.push(cell);
+        }
     }
 
     /// Number of live hosts.
@@ -179,7 +220,7 @@ impl DynamicOverlay {
         self.slot_of(id).map(|s| self.hosts[s].position)
     }
 
-    fn slot_of(&self, id: HostId) -> Option<usize> {
+    pub(crate) fn slot_of(&self, id: HostId) -> Option<usize> {
         self.slot_by_id.get(&id.0).map(|&s| s as usize)
     }
 
@@ -193,7 +234,7 @@ impl DynamicOverlay {
     }
 
     /// The grid cell of a position under the current grid (flat index).
-    fn cell_of(&self, p: &Point2) -> usize {
+    pub(crate) fn cell_of(&self, p: &Point2) -> usize {
         match &self.grid {
             None => 0,
             Some(grid) => {
@@ -213,15 +254,17 @@ impl DynamicOverlay {
     /// Removes `slot` from its cell's open list (order-preserving, so tie
     /// handling stays deterministic).
     fn open_remove(&mut self, slot: u32) {
-        let cell = self.hosts[slot as usize].cell as usize;
-        self.cell_open[cell].retain(|&s| s != slot);
+        let cell = self.hosts[slot as usize].cell;
+        self.cell_open[cell as usize].retain(|&s| s != slot);
+        self.note_cell_write(cell);
     }
 
     /// Adds `slot` back to its cell's open list.
     fn open_push(&mut self, slot: u32) {
-        let cell = self.hosts[slot as usize].cell as usize;
-        debug_assert!(!self.cell_open[cell].contains(&slot));
-        self.cell_open[cell].push(slot);
+        let cell = self.hosts[slot as usize].cell;
+        debug_assert!(!self.cell_open[cell as usize].contains(&slot));
+        self.cell_open[cell as usize].push(slot);
+        self.note_cell_write(cell);
     }
 
     /// Recomputes the cached delay of `root` from its parent and propagates
@@ -235,6 +278,8 @@ impl DynamicOverlay {
                 self.hosts[p].delay + self.hosts[r].position.distance(&self.hosts[p].position)
             }
         };
+        let root_cell = self.hosts[r].cell;
+        self.note_cell_write(root_cell);
         let mut refreshed = 1u64;
         let mut stack = vec![root];
         while let Some(u) = stack.pop() {
@@ -244,6 +289,8 @@ impl DynamicOverlay {
                 let d =
                     self.hosts[u].delay + self.hosts[u].position.distance(&self.hosts[c].position);
                 self.hosts[c].delay = d;
+                let c_cell = self.hosts[c].cell;
+                self.note_cell_write(c_cell);
                 refreshed += 1;
                 stack.push(c as u32);
             }
@@ -306,14 +353,21 @@ impl DynamicOverlay {
     pub fn join(&mut self, position: Point2) -> HostId {
         assert!(position.is_finite(), "host position must be finite");
         let _join_span = omt_obs::obs_span!("dynamic/join");
-        omt_obs::obs_count!("dynamic/joins");
-        let id = HostId(self.next_id);
-        self.next_id += 1;
         // Choose a parent: best open host in the cell, walking up the
         // ancestor-cell chain, else the source if open, else the best open
         // host globally (exists whenever the tree is nonempty and the
         // budget is ≥ 2: leaves are open).
         let parent = self.find_parent_for(&position);
+        self.insert_host(position, parent)
+    }
+
+    /// Adds a host under an already-chosen parent (`None` = the source).
+    /// The shared tail of [`join`](Self::join) and the sharded fast path:
+    /// the caller owns parent selection, this owns all bookkeeping.
+    pub(crate) fn insert_host(&mut self, position: Point2, parent: Option<u32>) -> HostId {
+        omt_obs::obs_count!("dynamic/joins");
+        let id = HostId(self.next_id);
+        self.next_id += 1;
         let cell = self.cell_of(&position) as u32;
         let host = Host {
             position,
@@ -337,6 +391,7 @@ impl DynamicOverlay {
         self.slot_by_id.insert(id.0, slot);
         self.cell_members[cell as usize].push(slot);
         self.cell_open[cell as usize].push(slot);
+        self.note_cell_write(cell);
         self.attach(slot, parent);
         self.live += 1;
         self.churn_since_rebuild += 1;
@@ -564,6 +619,9 @@ impl DynamicOverlay {
     pub fn rebuild(&mut self) {
         let _rebuild_span = omt_obs::obs_span!("dynamic/rebuild");
         omt_obs::obs_count!("dynamic/rebuilds");
+        if self.write_log.enabled {
+            self.write_log.rebuilt = true;
+        }
         self.churn_since_rebuild = 0;
         let live_slots = self.live_slots_in_join_order();
         let positions: Vec<Point2> = live_slots
@@ -853,7 +911,7 @@ impl DynamicOverlay {
 }
 
 /// Inverse of the flat cell index: `(ring, seg)`.
-fn unflatten(idx: usize) -> (u32, u64) {
+pub(crate) fn unflatten(idx: usize) -> (u32, u64) {
     let v = idx as u64 + 1;
     let ring = 63 - v.leading_zeros();
     (ring, v - (1u64 << ring))

@@ -38,6 +38,13 @@ pub enum BuildError {
         /// The largest feasible number of rings for this input.
         feasible: u32,
     },
+    /// The requested shard count for a sharded overlay is not a power of
+    /// two in `1..=64` (shards map to binary polar sectors, so the count
+    /// must match a sector split).
+    BadShardCount {
+        /// The requested number of shards.
+        got: u32,
+    },
     /// Internal tree construction failed. This indicates a bug in the
     /// algorithm implementation, never bad user input; it is surfaced
     /// instead of panicking so fuzzing can observe it.
@@ -64,6 +71,9 @@ impl fmt::Display for BuildError {
                 f,
                 "ring override {requested} is infeasible; largest feasible is {feasible}"
             ),
+            Self::BadShardCount { got } => {
+                write!(f, "shard count {got} is not a power of two in 1..=64")
+            }
             Self::Internal(e) => write!(f, "internal tree construction error: {e}"),
         }
     }
@@ -106,6 +116,9 @@ mod tests {
         }
         .to_string()
         .contains('9'));
+        assert!(BuildError::BadShardCount { got: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     #[test]

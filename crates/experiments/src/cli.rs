@@ -13,6 +13,9 @@
 //! * `--store` — build through the arena/SoA million-scale path
 //!   (`build_store_with_report`); quality columns are bit-identical to
 //!   the default path, only "CPU Sec" (and memory) change.
+//! * `--shards 4` — experiments that support it (churn) drive the
+//!   sharded batch engine instead of the per-event path; results are
+//!   bit-identical, only throughput changes. Must be a power of two.
 
 use std::path::PathBuf;
 
@@ -34,6 +37,8 @@ pub struct ExpArgs {
     /// Build through the arena/SoA store path where the experiment
     /// supports it (Table I).
     pub store: bool,
+    /// Shard count for the batched churn engine (default 1 = unsharded).
+    pub shards: Option<u32>,
 }
 
 impl ExpArgs {
@@ -75,6 +80,18 @@ impl ExpArgs {
                 "--out" => out.out = Some(PathBuf::from(value("--out")?)),
                 "--quick" => out.quick = true,
                 "--store" => out.store = true,
+                "--shards" => {
+                    let v = value("--shards")?;
+                    let shards: u32 = v
+                        .parse()
+                        .map_err(|e| format!("bad --shards value {v:?}: {e}"))?;
+                    if !shards.is_power_of_two() || shards > 64 {
+                        return Err(format!(
+                            "bad --shards value {shards}: must be a power of two in 1..=64"
+                        ));
+                    }
+                    out.shards = Some(shards);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -88,7 +105,7 @@ impl ExpArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--sizes 100,1000] [--trials N] [--seed N] [--out DIR] [--quick] [--store]"
+                    "usage: [--sizes 100,1000] [--trials N] [--seed N] [--out DIR] [--quick] [--store] [--shards N]"
                 );
                 std::process::exit(2);
             }
@@ -114,6 +131,11 @@ impl ExpArgs {
     pub fn seed(&self) -> u64 {
         self.seed.unwrap_or(2004)
     }
+
+    /// The shard count (1 = the unsharded per-event path).
+    pub fn shards(&self) -> u32 {
+        self.shards.unwrap_or(1)
+    }
 }
 
 #[cfg(test)]
@@ -126,14 +148,26 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse("--sizes 10,20 --trials 5 --seed 9 --out res --quick --store").unwrap();
+        let a = parse("--sizes 10,20 --trials 5 --seed 9 --out res --quick --store --shards 8")
+            .unwrap();
         assert_eq!(a.sizes(), vec![10, 20]);
         assert_eq!(a.trials_for(1_000_000), 5);
         assert_eq!(a.seed(), 9);
         assert_eq!(a.out, Some(PathBuf::from("res")));
         assert!(a.quick);
         assert!(a.store);
+        assert_eq!(a.shards(), 8);
         assert!(!parse("").unwrap().store);
+    }
+
+    #[test]
+    fn shards_default_and_validation() {
+        assert_eq!(parse("").unwrap().shards(), 1);
+        assert_eq!(parse("--shards 4").unwrap().shards(), 4);
+        assert!(parse("--shards 3").is_err());
+        assert!(parse("--shards 0").is_err());
+        assert!(parse("--shards 128").is_err());
+        assert!(parse("--shards").is_err());
     }
 
     #[test]

@@ -44,6 +44,47 @@ use std::fmt::Write as _;
 /// up to `2^63..`.
 pub const HIST_BUCKETS: usize = 65;
 
+/// Interns a dynamically built metric label, returning a `'static` string
+/// usable as a [`span`]/[`counter`]/[`observe`] name.
+///
+/// Metric names are `&'static str` so the hot-path entry points never
+/// allocate or hash strings. Call sites that need a small number of
+/// runtime-derived names — per-shard churn counters, per-backend labels —
+/// intern them **once at construction time** and store the result; the
+/// first interning of each distinct label leaks its allocation
+/// (deliberately: the set is expected to stay tiny and live for the
+/// process), later calls return the cached pointer.
+///
+/// Available regardless of the `enabled` feature so call sites need no
+/// `cfg`; without the feature the interned name simply feeds no-op sinks.
+///
+/// # Examples
+///
+/// ```
+/// let a = omt_obs::intern("churn/shard0/fast");
+/// let b = omt_obs::intern(&format!("churn/shard{}/fast", 0));
+/// assert!(std::ptr::eq(a, b));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the global intern table's lock is poisoned (a prior panic
+/// while interning).
+#[must_use]
+pub fn intern(label: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = table.lock().expect("intern table poisoned");
+    if let Some(&found) = guard.get(label) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(label.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
 /// Aggregate timing of one named span.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanStat {
@@ -592,6 +633,17 @@ macro_rules! obs_observe {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn intern_deduplicates_and_is_stable() {
+        let a = intern("intern/test/label-a");
+        let b = intern(&format!("intern/test/label-{}", 'a'));
+        assert!(std::ptr::eq(a, b));
+        let c = intern("intern/test/label-c");
+        assert_ne!(a, c);
+        // Interned names are usable as metric names in either mode.
+        counter(a, 1);
+    }
 
     #[test]
     fn bucket_edges() {

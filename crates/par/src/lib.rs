@@ -98,6 +98,81 @@ where
     par_map_with(items, threads, || (), |(), i, t| f(i, t))
 }
 
+/// Maps `f` over `items` on up to `threads` worker threads, handing each
+/// worker **exclusive mutable access** to the items it claims, and returns
+/// the per-item results in item order.
+///
+/// This is the batch-dispatch primitive for sharded engines: each item is
+/// a shard's persistent scratch state (reused allocations, local indexes)
+/// that the shard mutates while producing its result. Items are claimed
+/// dynamically from an atomic cursor like [`par_map_indexed`], so skewed
+/// shard loads balance; every item is claimed exactly once, so the mutable
+/// borrows never alias (enforced with a per-item lock that is only ever
+/// taken uncontended).
+///
+/// The determinism contract is the same as [`par_map_indexed`]: the result
+/// (and final state) of item `i` must be a pure function of `(i, items[i])`
+/// at entry, never of scheduling. With `threads <= 1` the items are mapped
+/// inline in order and no thread is spawned.
+pub fn par_map_indexed_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let _pool_span = omt_obs::span("par/map_mut");
+    omt_obs::counter("par/maps", 1);
+    omt_obs::counter("par/items", n as u64);
+    // Each slot is locked exactly once, by the worker that claims its index
+    // from the cursor — the mutex exists to hand out `&mut T` safely, not
+    // to arbitrate contention.
+    let slots: Vec<std::sync::Mutex<&mut T>> =
+        items.iter_mut().map(std::sync::Mutex::new).collect();
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<(Vec<(usize, R)>, omt_obs::Registry)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut guard = slots[i].lock().expect("claimed exactly once");
+                        out.push((i, f(i, &mut guard)));
+                    }
+                    omt_obs::observe("par/worker_items", out.len() as u64);
+                    (out, omt_obs::take_local())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    });
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (worker_results, registry) in per_worker {
+        omt_obs::merge_into_local(registry);
+        for (i, r) in worker_results {
+            debug_assert!(results[i].is_none(), "index {i} computed twice");
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|s| s.expect("the cursor hands out every index exactly once"))
+        .collect()
+}
+
 /// [`par_map_indexed`] with per-worker scratch state.
 ///
 /// `init` runs once per worker (once total on the sequential path) and the
@@ -231,6 +306,53 @@ mod tests {
         let _ = par_map_indexed(&items, 4, |i, _| {
             if i == 5 {
                 panic!("worker boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn map_mut_gives_each_item_exclusive_access() {
+        for threads in [1, 2, 4, 8] {
+            let mut items: Vec<Vec<u64>> = (0..33).map(|i| vec![i]).collect();
+            let out = par_map_indexed_mut(&mut items, threads, |i, scratch| {
+                assert_eq!(scratch[0], i as u64);
+                scratch.push(i as u64 * 2);
+                scratch.iter().sum::<u64>()
+            });
+            assert_eq!(out, (0..33).map(|i| i * 3).collect::<Vec<u64>>());
+            // Mutations persist in the caller's items, in place.
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(item, &vec![i as u64, i as u64 * 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn map_mut_empty_and_single() {
+        let mut empty: Vec<u32> = vec![];
+        assert_eq!(
+            par_map_indexed_mut(&mut empty, 8, |_, x| *x),
+            Vec::<u32>::new()
+        );
+        let mut one = vec![7u32];
+        assert_eq!(
+            par_map_indexed_mut(&mut one, 8, |_, x| {
+                *x += 1;
+                *x
+            }),
+            vec![8]
+        );
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mut worker boom")]
+    fn map_mut_worker_panics_propagate() {
+        let mut items: Vec<usize> = (0..16).collect();
+        let _ = par_map_indexed_mut(&mut items, 4, |i, _| {
+            if i == 5 {
+                panic!("mut worker boom");
             }
             i
         });

@@ -25,9 +25,13 @@ echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
 # The churn fuzz validates the dynamic overlay after every membership
-# event; run it in release so the every-event snapshot checks stay cheap.
-echo "==> cargo test -q --release --offline -p omt-core --test churn_fuzz"
-cargo test -q --release --offline -p omt-core --test churn_fuzz
+# event and proves the sharded batch engine bit-identical to it; run it
+# in release so the every-event snapshot checks stay cheap, with
+# OMT_THREADS=4 so the sharded phase-A speculation actually runs on
+# multiple workers (output is identical for every thread count — that is
+# part of what the suite asserts).
+echo "==> OMT_THREADS=4 cargo test -q --release --offline -p omt-core --test churn_fuzz"
+OMT_THREADS=4 cargo test -q --release --offline -p omt-core --test churn_fuzz
 
 echo "==> cargo fmt --check"
 cargo fmt --check
