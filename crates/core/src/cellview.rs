@@ -1,0 +1,190 @@
+//! Local cell-neighborhood views over the polar grid.
+//!
+//! A decentralized host cannot see the whole grid: it knows the cell its
+//! own virtual coordinates land in, the aligned parent/children cells of
+//! the core tree, and the adjacent segments on its own ring. [`CellView`]
+//! packages exactly that slice, and [`PolarGrid2::route_from_root`] gives
+//! the cell path a message must walk when it is routed strictly downward
+//! from the rendezvous — the only routing rule the protocol in
+//! `omt-proto` uses. Everything here is derived from `(k, ρ)` alone, so
+//! any host that knows the advertised deployment parameters computes the
+//! same views with no global state.
+
+use crate::PolarGrid2;
+
+/// A grid cell address: `(ring, segment)`. The inner disk is `(0, 0)`.
+pub type CellId = (u32, u64);
+
+/// The slice of the grid a host in one cell is allowed to know: its own
+/// cell, the aligned core-tree parent and children, and the same-ring
+/// neighbors.
+///
+/// # Examples
+///
+/// ```
+/// use omt_core::PolarGrid2;
+///
+/// let grid = PolarGrid2::new(3, 1.0);
+/// let v = grid.cell_view((2, 3));
+/// assert_eq!(v.parent, Some((1, 1)));
+/// assert_eq!(v.children, vec![(3, 6), (3, 7)]);
+/// assert_eq!(v.ring_neighbors, vec![(2, 2), (2, 0)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellView {
+    /// The cell this view is centered on.
+    pub cell: CellId,
+    /// The aligned parent cell on the ring inside, `None` for the disk.
+    pub parent: Option<CellId>,
+    /// The two aligned children on the ring outside; empty on ring `k`.
+    pub children: Vec<CellId>,
+    /// Adjacent segments on the same ring, `[prev, next]` with
+    /// wrap-around; deduplicated, and empty for the inner disk.
+    pub ring_neighbors: Vec<CellId>,
+}
+
+impl PolarGrid2 {
+    /// Flat heap-style index of a cell: `(2^ring - 1) + seg`. The inner
+    /// disk is 0 and indices are dense in `0..cell_count()`, so per-cell
+    /// tables can be plain vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn cell_index(&self, cell: CellId) -> usize {
+        let (ring, seg) = cell;
+        assert!(ring <= self.rings(), "ring {ring} out of range");
+        assert!(
+            seg < self.segments_on_ring(ring),
+            "segment {seg} out of range for ring {ring}"
+        );
+        (((1u64 << ring) - 1) + seg) as usize
+    }
+
+    /// Inverse of [`PolarGrid2::cell_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cell_count()`.
+    pub fn cell_at(&self, index: usize) -> CellId {
+        assert!(index < self.cell_count(), "cell index {index} out of range");
+        let n = index as u64 + 1; // 1-based heap numbering
+        let ring = (u64::BITS - 1 - n.leading_zeros()) as u32;
+        (ring, n - (1u64 << ring))
+    }
+
+    /// The local neighborhood view of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn cell_view(&self, cell: CellId) -> CellView {
+        let (ring, seg) = cell;
+        // Range-check via cell_index.
+        let _ = self.cell_index(cell);
+        let children = self
+            .children(ring, seg)
+            .map(|c| c.to_vec())
+            .unwrap_or_default();
+        let ring_neighbors = if ring == 0 {
+            Vec::new()
+        } else {
+            let count = self.segments_on_ring(ring);
+            let prev = (seg + count - 1) % count;
+            let next = (seg + 1) % count;
+            let mut v = vec![(ring, prev)];
+            if next != prev {
+                v.push((ring, next));
+            }
+            v
+        };
+        CellView {
+            cell,
+            parent: self.parent(ring, seg),
+            children,
+            ring_neighbors,
+        }
+    }
+
+    /// The cell path from the core root `(0, 0)` down to `target`,
+    /// inclusive on both ends — the route a join request walks when it is
+    /// forwarded strictly downward along aligned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn route_from_root(&self, target: CellId) -> Vec<CellId> {
+        let _ = self.cell_index(target);
+        let mut path = Vec::with_capacity(target.0 as usize + 1);
+        let mut cur = Some(target);
+        while let Some(c) = cur {
+            path.push(c);
+            cur = self.parent(c.0, c.1);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips_densely() {
+        let g = PolarGrid2::new(4, 1.0);
+        for idx in 0..g.cell_count() {
+            let cell = g.cell_at(idx);
+            assert_eq!(g.cell_index(cell), idx);
+        }
+        assert_eq!(g.cell_index((0, 0)), 0);
+        assert_eq!(g.cell_index((1, 0)), 1);
+        assert_eq!(g.cell_index((4, 15)), g.cell_count() - 1);
+    }
+
+    #[test]
+    fn views_match_parent_children() {
+        let g = PolarGrid2::new(3, 1.0);
+        let root = g.cell_view((0, 0));
+        assert_eq!(root.parent, None);
+        assert_eq!(root.children, vec![(1, 0), (1, 1)]);
+        assert!(root.ring_neighbors.is_empty());
+        let leaf = g.cell_view((3, 0));
+        assert_eq!(leaf.parent, Some((2, 0)));
+        assert!(leaf.children.is_empty());
+        assert_eq!(leaf.ring_neighbors, vec![(3, 7), (3, 1)]);
+    }
+
+    #[test]
+    fn ring_one_neighbors_deduplicate() {
+        // Ring 1 has exactly two segments: prev == next, listed once.
+        let g = PolarGrid2::new(2, 1.0);
+        assert_eq!(g.cell_view((1, 0)).ring_neighbors, vec![(1, 1)]);
+        assert_eq!(g.cell_view((1, 1)).ring_neighbors, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn route_walks_aligned_cells() {
+        let g = PolarGrid2::new(3, 1.0);
+        assert_eq!(g.route_from_root((0, 0)), vec![(0, 0)]);
+        assert_eq!(
+            g.route_from_root((3, 5)),
+            vec![(0, 0), (1, 1), (2, 2), (3, 5)]
+        );
+        // Every consecutive pair is a parent/child pair.
+        for seg in 0..8u64 {
+            let path = g.route_from_root((3, seg));
+            assert_eq!(path.len(), 4);
+            for w in path.windows(2) {
+                let kids = g.children(w[0].0, w[0].1).unwrap();
+                assert!(kids.contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn view_rejects_bad_cell() {
+        let _ = PolarGrid2::new(2, 1.0).cell_view((3, 0));
+    }
+}

@@ -71,6 +71,7 @@
 mod bisect2d;
 mod bisect3d;
 pub mod bounds;
+mod cellview;
 mod dynamic;
 mod error;
 mod fanout;
@@ -87,6 +88,7 @@ mod sphere_grid;
 
 pub use bisect2d::Bisection;
 pub use bisect3d::Bisection3;
+pub use cellview::{CellId, CellView};
 pub use dynamic::{DynamicOverlay, HostId};
 pub use error::BuildError;
 pub use grid2::PolarGrid2;

@@ -47,6 +47,7 @@ mod er;
 mod gnp;
 mod graph;
 mod matrix_tree;
+mod staleness;
 mod transit_stub;
 mod vivaldi;
 
@@ -56,5 +57,6 @@ pub use er::ErdosRenyiConfig;
 pub use gnp::{gnp_embed, GnpConfig, GnpEmbedding};
 pub use graph::{Graph, WaxmanConfig};
 pub use matrix_tree::{matrix_compact_tree, MatrixTree};
+pub use staleness::CoordDrift;
 pub use transit_stub::{TransitStub, TransitStubConfig};
 pub use vivaldi::{vivaldi_embed, VivaldiConfig};

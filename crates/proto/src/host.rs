@@ -1,0 +1,160 @@
+//! Per-host local state — everything a protocol participant is allowed
+//! to know.
+//!
+//! A host holds its own coordinates (true and advertised), the polar cell
+//! its advertised coordinate lands in, its parent link, its children with
+//! last-heard stamps, and a routing table mapping cells to the hosts
+//! covering them. Nothing here references global topology; the driver in
+//! [`crate::sim`] only ever mutates a host through messages addressed to
+//! it.
+
+use std::collections::BTreeMap;
+
+use omt_core::CellId;
+use omt_geom::Point2;
+use omt_sim::engine::HostId;
+
+/// A host's parent link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parent {
+    /// Not attached (joining, or orphaned and rejoining).
+    Detached,
+    /// Attached under another host (the rendezvous is host
+    /// [`crate::SOURCE`]).
+    Host(HostId),
+}
+
+/// A child link with the last time the child was heard from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChildLink {
+    /// The child's id.
+    pub id: HostId,
+    /// Last time a message from this child arrived.
+    pub last_heard: f64,
+}
+
+/// The complete local state of one protocol participant.
+#[derive(Clone, Debug)]
+pub struct HostState {
+    /// True position — delays are charged on this.
+    pub coord: Point2,
+    /// Advertised (possibly stale) position — cells are computed on this.
+    pub advertised: Point2,
+    /// The polar cell of the advertised position.
+    pub cell: CellId,
+    /// Whether the host process is running (false after crash/leave).
+    pub alive: bool,
+    /// Parent link.
+    pub parent: Parent,
+    /// Last time the parent was heard from (Pong or any parent message).
+    pub parent_heard: f64,
+    /// Children, in attach order.
+    pub children: Vec<ChildLink>,
+    /// Cell routing: which host covers the subtree of each known cell.
+    /// A `BTreeMap` so iteration order is deterministic.
+    pub routes: BTreeMap<CellId, HostId>,
+    /// Hosts that must not accept this host's joins (grown on cycle cuts).
+    pub avoid: Vec<HostId>,
+    /// Join epoch: bumped on every attach/detach so stale retry timers
+    /// can be recognized and dropped.
+    pub epoch: u32,
+    /// Current retry backoff for this host's join attempts.
+    pub backoff: f64,
+    /// Whether a root-path probe is outstanding (re-sent each tick until
+    /// `ProbeOk` arrives).
+    pub probe_pending: bool,
+    /// Round-robin cursor for overflow forwarding: rotating the child a
+    /// full host hands surplus joiners to keeps in-cell subtrees balanced
+    /// instead of degenerating into chains.
+    pub rr: usize,
+}
+
+impl HostState {
+    /// Fresh, detached state for a host at `coord` advertising
+    /// `advertised`, assigned to `cell`.
+    pub fn new(coord: Point2, advertised: Point2, cell: CellId) -> Self {
+        Self {
+            coord,
+            advertised,
+            cell,
+            alive: true,
+            parent: Parent::Detached,
+            parent_heard: 0.0,
+            children: Vec::new(),
+            routes: BTreeMap::new(),
+            avoid: Vec::new(),
+            epoch: 0,
+            backoff: 0.0,
+            probe_pending: false,
+            rr: 0,
+        }
+    }
+
+    /// Whether the host currently has a parent.
+    #[inline]
+    pub fn attached(&self) -> bool {
+        matches!(self.parent, Parent::Host(_))
+    }
+
+    /// Index of `id` in the child list, if present.
+    pub fn child_index(&self, id: HostId) -> Option<usize> {
+        self.children.iter().position(|c| c.id == id)
+    }
+
+    /// Removes a child link and every routing entry pointing at it.
+    pub fn drop_child(&mut self, id: HostId) {
+        self.children.retain(|c| c.id != id);
+        self.routes.retain(|_, &mut h| h != id);
+    }
+
+    /// Replaces `old` with `new` in the child list and routing table
+    /// (graceful-leave successor swap, which preserves the degree count).
+    pub fn swap_child(&mut self, old: HostId, new: HostId, now: f64) {
+        for c in &mut self.children {
+            if c.id == old {
+                c.id = new;
+                c.last_heard = now;
+            }
+        }
+        for h in self.routes.values_mut() {
+            if *h == old {
+                *h = new;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_child_clears_routes() {
+        let mut h = HostState::new(Point2::ORIGIN, Point2::ORIGIN, (0, 0));
+        h.children.push(ChildLink {
+            id: 7,
+            last_heard: 0.0,
+        });
+        h.routes.insert((2, 1), 7);
+        h.routes.insert((2, 2), 9);
+        h.drop_child(7);
+        assert!(h.child_index(7).is_none());
+        assert_eq!(h.routes.len(), 1);
+        assert_eq!(h.routes.get(&(2, 2)), Some(&9));
+    }
+
+    #[test]
+    fn swap_child_preserves_degree_and_rewires_routes() {
+        let mut h = HostState::new(Point2::ORIGIN, Point2::ORIGIN, (0, 0));
+        h.children.push(ChildLink {
+            id: 4,
+            last_heard: 1.0,
+        });
+        h.routes.insert((1, 0), 4);
+        h.swap_child(4, 11, 5.0);
+        assert_eq!(h.children.len(), 1);
+        assert_eq!(h.children[0].id, 11);
+        assert_eq!(h.children[0].last_heard, 5.0);
+        assert_eq!(h.routes.get(&(1, 0)), Some(&11));
+    }
+}

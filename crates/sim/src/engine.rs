@@ -1,0 +1,250 @@
+//! Deterministic discrete-event message engine with per-host mailboxes.
+//!
+//! The dissemination simulator in the crate root walks a *finished* tree;
+//! this module is the substrate for protocols that must *build* the tree
+//! through messages: a priority queue of scheduled deliveries with a total
+//! deterministic order, and a mailbox view that hands a host every message
+//! arriving at one instant as a single batch.
+//!
+//! # Ordering contract
+//!
+//! Deliveries are ordered by `(time, sequence)`, where the sequence number
+//! is assigned at scheduling time. Two deliveries at the *same* timestamp
+//! therefore pop in the order they were scheduled — FIFO, never heap
+//! order. `std::collections::BinaryHeap` alone does **not** provide this
+//! (sift-up/sift-down reorder equal keys arbitrarily), which is exactly
+//! the instability the ≥64-fan-in stress test in `tests/event_loop.rs`
+//! pins down; the explicit sequence tiebreak is the fix.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A host address in the engine. Address 0 is conventionally the protocol
+/// rendezvous (the multicast source).
+pub type HostId = u32;
+
+/// One delivered message: arrival time, destination, payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivery<M> {
+    /// Arrival (delivery) time.
+    pub time: f64,
+    /// Destination host.
+    pub dst: HostId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Internal heap entry; ordered by `(time, seq)` ascending via `Reverse`
+/// semantics baked into the `Ord` impl (the heap is a max-heap, so the
+/// comparison is inverted here).
+struct Scheduled<M> {
+    time: f64,
+    seq: u64,
+    dst: HostId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: the smallest (time, seq) must be the heap maximum.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use omt_sim::engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, 7, "late");
+/// q.schedule(1.0, 3, "early");
+/// q.schedule(1.0, 3, "early-second"); // same instant: FIFO
+/// assert_eq!(q.pop().unwrap().msg, "early");
+/// assert_eq!(q.pop().unwrap().msg, "early-second");
+/// assert_eq!(q.pop().unwrap().msg, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The time of the most recently popped delivery (0 before any pop).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending deliveries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no deliveries are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules a delivery at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN, infinite, or before [`EventQueue::now`]
+    /// (the past is immutable).
+    pub fn schedule(&mut self, time: f64, dst: HostId, msg: M) {
+        assert!(time.is_finite(), "non-finite delivery time {time}");
+        assert!(
+            time >= self.now,
+            "delivery at {time} scheduled before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            dst,
+            msg,
+        });
+    }
+
+    /// Pops the next delivery in `(time, seq)` order and advances the
+    /// clock to it.
+    pub fn pop(&mut self) -> Option<Delivery<M>> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some(Delivery {
+            time: s.time,
+            dst: s.dst,
+            msg: s.msg,
+        })
+    }
+
+    /// Pops the next delivery **and** every further delivery addressed to
+    /// the same host at the same instant — the host's mailbox for that
+    /// tick — appending them to `out` in scheduling (FIFO) order. Returns
+    /// the `(time, host)` of the batch, or `None` if the queue is empty.
+    ///
+    /// Deliveries to *other* hosts at the same instant stay queued: each
+    /// host drains its own mailbox in the deterministic global order.
+    pub fn pop_mailbox(&mut self, out: &mut Vec<Delivery<M>>) -> Option<(f64, HostId)> {
+        let first = self.pop()?;
+        let (time, dst) = (first.time, first.dst);
+        out.push(first);
+        // Same-instant deliveries to this host may interleave (in seq
+        // order) with deliveries to other hosts; drain the whole instant,
+        // keep ours, and push the rest back (their seq keys restore the
+        // original order).
+        let mut stash = Vec::new();
+        while let Some(head) = self.heap.peek() {
+            if head.time != time {
+                break;
+            }
+            let s = self.heap.pop().expect("peeked");
+            if s.dst == dst {
+                out.push(Delivery {
+                    time: s.time,
+                    dst: s.dst,
+                    msg: s.msg,
+                });
+            } else {
+                stash.push(s);
+            }
+        }
+        self.heap.extend(stash);
+        Some((time, dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 0, 'b');
+        q.schedule(0.5, 1, 'a');
+        q.schedule(1.0, 0, 'c');
+        let popped: String = std::iter::from_fn(|| q.pop()).map(|d| d.msg).collect();
+        assert_eq!(popped, "abc");
+    }
+
+    #[test]
+    fn mailbox_batches_same_instant_same_host_only() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 5, 1);
+        q.schedule(1.0, 9, 2); // other host, same instant
+        q.schedule(1.0, 5, 3);
+        q.schedule(2.0, 5, 4); // same host, later
+        let mut box1 = Vec::new();
+        assert_eq!(q.pop_mailbox(&mut box1), Some((1.0, 5)));
+        assert_eq!(box1.iter().map(|d| d.msg).collect::<Vec<_>>(), [1, 3]);
+        let mut box2 = Vec::new();
+        assert_eq!(q.pop_mailbox(&mut box2), Some((1.0, 9)));
+        assert_eq!(box2[0].msg, 2);
+        let mut box3 = Vec::new();
+        assert_eq!(q.pop_mailbox(&mut box3), Some((2.0, 5)));
+        assert_eq!(box3[0].msg, 4);
+        assert!(q.pop_mailbox(&mut Vec::new()).is_none());
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 0, ());
+        q.schedule(3.0, 1, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 3.0);
+        // Scheduling at the current instant is allowed…
+        q.schedule(3.0, 2, ());
+        // …but the past is rejected.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(2.9, 0, ());
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_time() {
+        EventQueue::new().schedule(f64::NAN, 0, ());
+    }
+}

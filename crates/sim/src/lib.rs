@@ -24,6 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod fault;
+
+pub use engine::{Delivery, EventQueue};
+pub use fault::{FaultPlan, NetStats, Network, Partition};
+
 use omt_rng::{Rng, RngExt, SeedableRng};
 
 use omt_tree::MulticastTree;

@@ -151,6 +151,109 @@ fn arrivals_are_monotone_along_every_path() {
     }
 }
 
+/// The tie-break guarantee at *high* fan-in: 96 children all exactly
+/// equidistant from the source, so every ordering key of every schedule
+/// ties for every child. The serialization slots must fall back to attach
+/// order — bit-identical to `InputOrder` — and stay strictly increasing.
+/// The 4-child test above cannot catch instability that only appears once
+/// the sort's internal runs exceed single-digit lengths; this one can.
+#[test]
+fn equal_keys_tie_break_at_64_plus_fanin() {
+    let n = 96usize;
+    // The four axis points have *bitwise* distance 2.0 (no rounding), so
+    // cycling through them keeps every ordering key exactly tied — points
+    // on a trigonometric circle would differ in the last ulp and the
+    // orders would legitimately diverge. Duplicate points are supported
+    // throughout the stack.
+    let axis = [(2.0, 0.0), (0.0, 2.0), (-2.0, 0.0), (0.0, -2.0)];
+    let pts: Vec<Point2> = (0..n)
+        .map(|i| {
+            let (x, y) = axis[i % 4];
+            Point2::new([x, y])
+        })
+        .collect();
+    let tree = fan(&pts);
+    let cfg = |order| SimConfig {
+        serialization_delay: 5.0,
+        child_order: order,
+        ..SimConfig::default()
+    };
+    let reference = simulate(&tree, &cfg(ChildOrder::InputOrder));
+    // Attach order i gets slot i: arrival = i·5 + 2 exactly.
+    for (i, &t) in reference.arrival.iter().enumerate() {
+        assert_eq!(t, i as f64 * 5.0 + 2.0, "slot of child {i}");
+    }
+    for order in [ChildOrder::NearestFirst, ChildOrder::CriticalFirst] {
+        let rep = simulate(&tree, &cfg(order));
+        assert_eq!(rep, reference, "{order:?} broke a 96-way tie");
+    }
+}
+
+/// The message engine's same-timestamp contract at ≥64 simultaneous
+/// deliveries: a raw `BinaryHeap` pops equal keys in arbitrary (sift)
+/// order, so without the explicit sequence tiebreak this test fails —
+/// it pins the FIFO fix.
+#[test]
+fn event_queue_fifo_at_64_plus_simultaneous_deliveries() {
+    use omt_sim::EventQueue;
+    let mut q = EventQueue::new();
+    // Prime the heap with structure: a few earlier events so the
+    // simultaneous block lands in a non-trivial heap shape.
+    for i in 0..7u32 {
+        q.schedule(0.5, i, 1000 + i);
+    }
+    // 128 deliveries to one host at exactly t = 1.0, interleaved with 128
+    // same-instant deliveries to other hosts.
+    for i in 0..128u32 {
+        q.schedule(1.0, 42, i);
+        q.schedule(1.0, i % 5, 500 + i);
+    }
+    for _ in 0..7 {
+        q.pop();
+    }
+    let mut seen = Vec::new();
+    let mut others = Vec::new();
+    while let Some(d) = q.pop() {
+        assert_eq!(d.time, 1.0);
+        if d.dst == 42 {
+            seen.push(d.msg);
+        } else {
+            others.push(d.msg);
+        }
+    }
+    // FIFO per the global schedule order, for both streams.
+    assert_eq!(seen, (0..128).collect::<Vec<_>>());
+    assert_eq!(others, (500..628).collect::<Vec<_>>());
+}
+
+/// The mailbox view of the same scenario: one host's 128 same-instant
+/// messages arrive as a single FIFO batch, and the interleaved messages
+/// to other hosts are neither lost nor reordered.
+#[test]
+fn mailbox_drains_64_plus_deliveries_in_fifo_order() {
+    use omt_sim::EventQueue;
+    let mut q = EventQueue::new();
+    for i in 0..128u32 {
+        q.schedule(1.0, 42, i);
+        q.schedule(1.0, 7, 500 + i);
+    }
+    let mut batch = Vec::new();
+    let (t, dst) = q.pop_mailbox(&mut batch).unwrap();
+    assert_eq!((t, dst), (1.0, 42));
+    assert_eq!(
+        batch.iter().map(|d| d.msg).collect::<Vec<_>>(),
+        (0..128).collect::<Vec<_>>()
+    );
+    let mut batch2 = Vec::new();
+    let (t2, dst2) = q.pop_mailbox(&mut batch2).unwrap();
+    assert_eq!((t2, dst2), (1.0, 7));
+    assert_eq!(
+        batch2.iter().map(|d| d.msg).collect::<Vec<_>>(),
+        (500..628).collect::<Vec<_>>()
+    );
+    assert!(q.is_empty());
+}
+
 #[test]
 fn jittered_runs_are_deterministic_at_a_fixed_seed() {
     let points: Vec<Point2> = (0..60)

@@ -33,6 +33,14 @@ cargo test -q --offline --workspace
 echo "==> OMT_THREADS=4 cargo test -q --release --offline -p omt-core --test churn_fuzz"
 OMT_THREADS=4 cargo test -q --release --offline -p omt-core --test churn_fuzz
 
+# The decentralized protocol's acceptance pair: differential parity
+# against the centralized builder plus the fault-injection fuzz
+# campaigns, in release so the 10k-host legs stay fast. OMT_THREADS=4
+# pins the ambient thread count the suites assume (the protocol engine
+# itself is deterministic for any value — that is part of the contract).
+echo "==> OMT_THREADS=4 cargo test -q --release --offline -p omt-proto"
+OMT_THREADS=4 cargo test -q --release --offline -p omt-proto
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
