@@ -1,0 +1,218 @@
+//! Hierarchical capacity-summary index benchmarks: the same churn and
+//! parent-query workloads through the per-cell linear scans and through
+//! `omt-geom::hgrid`, on overlays prefilled up to n = 1M live hosts
+//! (`--quick` shrinks the prefill to 20k).
+//!
+//! Both paths return bit-identical answers (proven by the
+//! `hgrid_parity` differential suite); only the work per answer is at
+//! stake. Besides wall time, each configuration's parent-search probe
+//! counters (open-list consultations and attach-cost evaluations) are
+//! measured outside the timed region and printed, so the query-count
+//! columns of `results/hgrid.md` regenerate from the same run. Record
+//! with:
+//!
+//! ```sh
+//! OMT_BENCH_DIR=results cargo bench -p omt-bench --bench hgrid -- hgrid
+//! ```
+
+use omt_bench::disk_points;
+use omt_bench::harness::{BenchmarkId, Criterion, Throughput};
+use omt_bench::{criterion_group, criterion_main};
+use omt_core::{DynamicOverlay, HostId};
+use omt_geom::Point2;
+use omt_rng::rngs::SmallRng;
+use omt_rng::{RngExt, SeedableRng};
+
+/// A resolved churn plan (joins : leaves ≈ 2 : 1) whose leave victims are
+/// valid on any replay of the same prefilled base.
+enum Event {
+    Join(Point2),
+    Leave(u64),
+}
+
+fn event_plan(events: usize, seed: u64) -> Vec<Event> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..events)
+        .map(|_| {
+            if rng.random::<f64>() < 2.0 / 3.0 {
+                let r = rng.random::<f64>().sqrt();
+                let t: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+                Event::Join(Point2::new([r * t.cos(), r * t.sin()]))
+            } else {
+                Event::Leave(rng.random::<u64>())
+            }
+        })
+        .collect()
+}
+
+fn run_plan(base: &DynamicOverlay, live: &[HostId], plan: &[Event]) -> usize {
+    let mut overlay = base.clone();
+    let mut live = live.to_vec();
+    for ev in plan {
+        match *ev {
+            Event::Join(p) => live.push(overlay.join(p)),
+            Event::Leave(r) => {
+                let i = (r as usize) % live.len();
+                overlay.leave(live.swap_remove(i)).unwrap();
+            }
+        }
+    }
+    overlay.len()
+}
+
+/// Uniform probe points for the read-only parent-query bench (the
+/// repair/rejoin shape: "where would this position attach right now?").
+fn probe_points(queries: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..queries)
+        .map(|_| {
+            let r = rng.random::<f64>().sqrt();
+            let t: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+            Point2::new([r * t.cos(), r * t.sin()])
+        })
+        .collect()
+}
+
+fn run_queries(overlay: &DynamicOverlay, probes: &[Point2]) -> usize {
+    probes
+        .iter()
+        .filter(|p| overlay.peek_parent(p).is_some())
+        .count()
+}
+
+/// Left-half-plane probe points for the repair bench: rejoin searches
+/// aimed into the region a mass departure just emptied, where the scan
+/// walks chains of empty cells the index rules out by count alone.
+fn outage_probe_points(queries: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    std::iter::from_fn(|| {
+        let r = rng.random::<f64>().sqrt();
+        let t: f64 = rng.random_range(0.0..core::f64::consts::TAU);
+        Some(Point2::new([r * t.cos(), r * t.sin()]))
+    })
+    .filter(|p| p.coords()[0] < 0.0)
+    .take(queries)
+    .collect()
+}
+
+/// Evicts every host in the left half-plane, emptying that region's
+/// cells (the regional-outage setup for the repair bench).
+fn regional_outage(overlay: &mut DynamicOverlay, live: &[HostId], pts: &[Point2]) {
+    for (i, &id) in live.iter().enumerate() {
+        if pts[i].coords()[0] < 0.0 {
+            overlay.leave(id).unwrap();
+        }
+    }
+}
+
+/// Replays the churn plan once outside the timed region and returns the
+/// working overlay's parent-search probe counters.
+fn plan_probes(base: &DynamicOverlay, live: &[HostId], plan: &[Event]) -> (u64, u64) {
+    let mut overlay = base.clone();
+    overlay.reset_search_probes();
+    let mut live = live.to_vec();
+    for ev in plan {
+        match *ev {
+            Event::Join(p) => live.push(overlay.join(p)),
+            Event::Leave(r) => {
+                let i = (r as usize) % live.len();
+                overlay.leave(live.swap_remove(i)).unwrap();
+            }
+        }
+    }
+    overlay.search_probes()
+}
+
+/// Prints one workload's work counters — the query-count columns of
+/// `results/hgrid.md`.
+fn report_probes(label: &str, n: usize, (cells, costs): (u64, u64)) {
+    println!("hgrid-probes/{label}/{n}: cells_scanned={cells} cost_probes={costs}");
+}
+
+fn bench_hgrid(c: &mut Criterion) {
+    let quick = c.is_quick();
+    let (n, events, queries) = if quick {
+        (20_000usize, 4_000usize, 4_000usize)
+    } else {
+        (1_000_000, 50_000, 50_000)
+    };
+    let mut group = c.benchmark_group("hgrid");
+    group.sample_size(5);
+
+    // One prefill; both bases are fresh clones of it (identical, compact
+    // allocations — the incrementally-grown original would hand whichever
+    // side kept it a cache-locality handicap), and the indexed one builds
+    // its summaries once from the same membership.
+    let mut prefill = DynamicOverlay::new(Point2::ORIGIN, 6).unwrap();
+    prefill.set_hgrid(false);
+    let pts = disk_points(n, 29);
+    let live: Vec<HostId> = pts.iter().map(|&p| prefill.join(p)).collect();
+    let scan_base = prefill.clone();
+    let mut indexed_base = prefill.clone();
+    indexed_base.set_hgrid(true);
+    drop(prefill);
+
+    let plan = event_plan(events, 31 + n as u64);
+    group.throughput(Throughput::Elements(events as u64));
+    group.bench_with_input(BenchmarkId::new("churn-scan", n), &plan, |b, plan| {
+        b.iter(|| run_plan(&scan_base, &live, plan));
+    });
+    group.bench_with_input(BenchmarkId::new("churn-indexed", n), &plan, |b, plan| {
+        b.iter(|| run_plan(&indexed_base, &live, plan));
+    });
+    report_probes("churn-scan", n, plan_probes(&scan_base, &live, &plan));
+    report_probes("churn-indexed", n, plan_probes(&indexed_base, &live, &plan));
+
+    let probes = probe_points(queries, 37 + n as u64);
+    group.throughput(Throughput::Elements(queries as u64));
+    group.bench_with_input(BenchmarkId::new("query-scan", n), &probes, |b, probes| {
+        b.iter(|| run_queries(&scan_base, probes));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("query-indexed", n),
+        &probes,
+        |b, probes| {
+            b.iter(|| run_queries(&indexed_base, probes));
+        },
+    );
+    scan_base.reset_search_probes();
+    run_queries(&scan_base, &probes);
+    report_probes("query-scan", n, scan_base.search_probes());
+    indexed_base.reset_search_probes();
+    run_queries(&indexed_base, &probes);
+    report_probes("query-indexed", n, indexed_base.search_probes());
+
+    // Repair: a regional outage empties the left half-plane, then rejoin
+    // searches probe into it. The scan walks the emptied chain cells one
+    // by one; the index's zero counts rule them out without a visit.
+    let mut repair_scan = scan_base;
+    regional_outage(&mut repair_scan, &live, &pts);
+    let mut repair_indexed = indexed_base;
+    regional_outage(&mut repair_indexed, &live, &pts);
+    let outage_probes = outage_probe_points(queries, 41 + n as u64);
+    group.throughput(Throughput::Elements(queries as u64));
+    group.bench_with_input(
+        BenchmarkId::new("repair-scan", n),
+        &outage_probes,
+        |b, probes| {
+            b.iter(|| run_queries(&repair_scan, probes));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("repair-indexed", n),
+        &outage_probes,
+        |b, probes| {
+            b.iter(|| run_queries(&repair_indexed, probes));
+        },
+    );
+    repair_scan.reset_search_probes();
+    run_queries(&repair_scan, &outage_probes);
+    report_probes("repair-scan", n, repair_scan.search_probes());
+    repair_indexed.reset_search_probes();
+    run_queries(&repair_indexed, &outage_probes);
+    report_probes("repair-indexed", n, repair_indexed.search_probes());
+    group.finish();
+}
+
+criterion_group!(benches, bench_hgrid);
+criterion_main!(benches);

@@ -48,7 +48,7 @@
 
 use std::collections::HashMap;
 
-use omt_geom::{Point2, PolarPoint};
+use omt_geom::{HGrid, Point2, PolarPoint};
 use omt_tree::{validate_parent_forest, MulticastTree, ParentRef, TreeBuilder};
 
 use crate::error::BuildError;
@@ -94,6 +94,42 @@ struct WriteLog {
     rebuilt: bool,
 }
 
+/// Counters of parent-search work, kept in relaxed atomics because
+/// searches are logically read-only (`&self`) and the overlay is shared
+/// across threads during sharded speculation. `cells_scanned` counts
+/// open-list consultations (one per cell whose open list was walked);
+/// `cost_probes` counts attach-cost evaluations. Both run in scan mode
+/// and index mode, so the two paths' work is directly comparable.
+#[derive(Debug, Default)]
+struct SearchProbes {
+    cells_scanned: std::sync::atomic::AtomicU64,
+    cost_probes: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for SearchProbes {
+    fn clone(&self) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        Self {
+            cells_scanned: AtomicU64::new(self.cells_scanned.load(Ordering::Relaxed)),
+            cost_probes: AtomicU64::new(self.cost_probes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl SearchProbes {
+    #[inline]
+    fn bump_cells(&self) {
+        self.cells_scanned
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bump_costs(&self, by: u64) {
+        self.cost_probes
+            .fetch_add(by, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// A multicast tree that supports joins and leaves.
 ///
 /// # Examples
@@ -137,6 +173,13 @@ pub struct DynamicOverlay {
     next_id: u64,
     /// Write tracking for the sharded batch merge; off by default.
     write_log: WriteLog,
+    /// Hierarchical capacity-summary index mirroring `cell_open` (`None`
+    /// = plain scan mode). Enabled by `OMT_HGRID=1` or
+    /// [`set_hgrid`](Self::set_hgrid); parent searches through it return
+    /// bit-identical answers to the scans they replace.
+    hgrid: Option<HGrid>,
+    /// Parent-search work counters.
+    probes: SearchProbes,
 }
 
 impl DynamicOverlay {
@@ -156,7 +199,7 @@ impl DynamicOverlay {
         if !source.is_finite() {
             return Err(BuildError::NonFiniteSource);
         }
-        Ok(Self {
+        let mut overlay = Self {
             source,
             max_out_degree,
             hosts: Vec::new(),
@@ -170,7 +213,120 @@ impl DynamicOverlay {
             churn_since_rebuild: 0,
             next_id: 0,
             write_log: WriteLog::default(),
-        })
+            hgrid: None,
+            probes: SearchProbes::default(),
+        };
+        if omt_geom::hgrid::env_enabled() {
+            overlay.set_hgrid(true);
+        }
+        Ok(overlay)
+    }
+
+    /// Turns the hierarchical capacity-summary index on (building it from
+    /// the current membership) or off. Every parent search is answered
+    /// identically either way — the index only changes how much work the
+    /// answer costs (see [`search_probes`](Self::search_probes)).
+    pub fn set_hgrid(&mut self, on: bool) {
+        self.hgrid = on.then(|| self.build_hgrid());
+    }
+
+    /// Whether the hierarchical capacity index is active.
+    pub fn hgrid_enabled(&self) -> bool {
+        self.hgrid.is_some()
+    }
+
+    /// The frozen index for the sharded engine's speculation phase.
+    pub(crate) fn hgrid_ref(&self) -> Option<&HGrid> {
+        self.hgrid.as_ref()
+    }
+
+    /// The parent-search work counters accumulated since the last
+    /// [`reset_search_probes`](Self::reset_search_probes), as
+    /// `(cells_scanned, cost_probes)`: open-list consultations and
+    /// attach-cost evaluations.
+    pub fn search_probes(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.probes.cells_scanned.load(Ordering::Relaxed),
+            self.probes.cost_probes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes the parent-search work counters.
+    pub fn reset_search_probes(&self) {
+        use std::sync::atomic::Ordering;
+        self.probes.cells_scanned.store(0, Ordering::Relaxed);
+        self.probes.cost_probes.store(0, Ordering::Relaxed);
+    }
+
+    /// Read-only parent search: the host a [`join`](Self::join) at
+    /// `position` would attach to right now (`None` = the source).
+    pub fn peek_parent(&self, position: &Point2) -> Option<HostId> {
+        self.find_parent_for(position)
+            .map(|s| self.hosts[s as usize].id)
+    }
+
+    /// Builds the capacity index from scratch against the current grid
+    /// and open lists.
+    fn build_hgrid(&self) -> HGrid {
+        let (rings, ring_inner) = match &self.grid {
+            None => (0u32, vec![0.0]),
+            Some(grid) => {
+                let k = grid.rings();
+                let mut inner = Vec::with_capacity(k as usize + 1);
+                inner.push(0.0);
+                for ring in 1..=k {
+                    inner.push(grid.circle_radius(ring - 1));
+                }
+                (k, inner)
+            }
+        };
+        let classes = self.max_out_degree as usize;
+        let mut hg = HGrid::new(rings, classes, &ring_inner);
+        let mut counts = vec![0u32; classes];
+        for cell in 0..self.cell_open.len() {
+            counts.fill(0);
+            let mut min_delay = f64::INFINITY;
+            for &s in &self.cell_open[cell] {
+                let h = &self.hosts[s as usize];
+                counts[h.children.len()] += 1;
+                min_delay = min_delay.min(h.delay);
+            }
+            // A fresh index is already all-empty; only occupied cells
+            // need declaring.
+            if counts.iter().any(|&c| c > 0) {
+                hg.set_cell(cell, &counts, min_delay);
+            }
+        }
+        hg
+    }
+
+    /// Re-declares one cell's census to the capacity index (call after
+    /// any mutation of the cell's open list or of an open host's class or
+    /// delay). No-op when the index is off.
+    fn hg_sync_cell(&mut self, cell: usize) {
+        if self.hgrid.is_none() {
+            return;
+        }
+        let classes = self.max_out_degree as usize;
+        let mut counts = vec![0u32; classes];
+        let mut min_delay = f64::INFINITY;
+        for &s in &self.cell_open[cell] {
+            let h = &self.hosts[s as usize];
+            counts[h.children.len()] += 1;
+            min_delay = min_delay.min(h.delay);
+        }
+        self.hgrid
+            .as_mut()
+            .expect("checked above")
+            .set_cell(cell, &counts, min_delay);
+    }
+
+    /// Rebuilds the capacity index (if on) after a grid change.
+    fn refresh_hgrid(&mut self) {
+        if self.hgrid.is_some() {
+            self.hgrid = Some(self.build_hgrid());
+        }
     }
 
     /// Turns batch write tracking on or off, clearing any logged state.
@@ -187,11 +343,17 @@ impl DynamicOverlay {
         std::mem::take(&mut self.write_log.rebuilt)
     }
 
-    /// Records that `cell`'s search-relevant state changed.
+    /// Records that `cell`'s search-relevant state changed. The write
+    /// points are exactly the mutations the capacity index must see, so
+    /// the index sync piggybacks here (attach/detach additionally sync
+    /// class shifts that leave the open list untouched).
     #[inline]
     fn note_cell_write(&mut self, cell: u32) {
         if self.write_log.enabled {
             self.write_log.cells.push(cell);
+        }
+        if self.hgrid.is_some() {
+            self.hg_sync_cell(cell as usize);
         }
     }
 
@@ -322,6 +484,12 @@ impl DynamicOverlay {
                 self.hosts[pu].children.push(child);
                 if self.hosts[pu].children.len() as u32 == self.max_out_degree {
                     self.open_remove(p);
+                } else if self.hgrid.is_some() {
+                    // Still open, but its degree class changed; the write
+                    // log does not need to hear about this (the open list
+                    // is untouched), the index does.
+                    let cell = self.hosts[pu].cell;
+                    self.hg_sync_cell(cell as usize);
                 }
             }
         }
@@ -339,6 +507,9 @@ impl DynamicOverlay {
                 self.hosts[pu].children.retain(|&c| c != slot);
                 if was_full {
                     self.open_push(p);
+                } else if self.hgrid.is_some() {
+                    let cell = self.hosts[pu].cell;
+                    self.hg_sync_cell(cell as usize);
                 }
             }
         }
@@ -426,14 +597,28 @@ impl DynamicOverlay {
         let mut cell = self.cell_of(position);
         let mut hops = 0u64;
         loop {
-            let best = self.cell_open[cell]
-                .iter()
-                .copied()
-                .filter(|s| !banned.is_some_and(|set| set.contains(s)))
-                .min_by(|&a, &b| {
-                    self.attach_cost(a, position)
-                        .total_cmp(&self.attach_cost(b, position))
-                });
+            // Known-empty cells are skipped without touching their open
+            // list (or the cost of walking it): the index's direct count
+            // is exact, so this can never change the answer — a zero
+            // count means there is nothing to scan, banned or not.
+            let known_empty = self
+                .hgrid
+                .as_ref()
+                .is_some_and(|hg| hg.cell_total(cell) == 0);
+            let best = if known_empty {
+                None
+            } else {
+                self.probes.bump_cells();
+                self.cell_open[cell]
+                    .iter()
+                    .copied()
+                    .filter(|s| !banned.is_some_and(|set| set.contains(s)))
+                    .min_by(|&a, &b| {
+                        self.probes.bump_costs(2);
+                        self.attach_cost(a, position)
+                            .total_cmp(&self.attach_cost(b, position))
+                    })
+            };
             if best.is_some() {
                 omt_obs::obs_observe!("dynamic/chain_len", hops);
                 return best;
@@ -455,25 +640,63 @@ impl DynamicOverlay {
 
     /// The cheapest open host for `position` over the whole open index,
     /// skipping hosts in `banned` (the flat set of a subtree being
-    /// re-homed) when given. Deterministic: first minimum wins.
+    /// re-homed) when given. Deterministic: first minimum wins — i.e. the
+    /// winner is the lexicographic minimum of `(cost, cell, list
+    /// position)`, which is exactly the tie rule the capacity-index
+    /// search preserves, so both paths return the same host bit for bit.
     fn best_open_excluding(
         &self,
         position: &Point2,
         banned: Option<&std::collections::HashSet<u32>>,
     ) -> Option<u32> {
+        if let Some(hg) = &self.hgrid {
+            // Bound-pruned best-first search. The per-cell closure
+            // reproduces the scan's in-cell rule (earliest strict
+            // minimum); the index handles the cross-cell `(cost, cell)`
+            // tie rule and prunes only subtrees whose guarded lower
+            // bound *strictly* exceeds the incumbent.
+            let q = *position - self.source;
+            return hg
+                .best_open_parent(
+                    &q,
+                    self.max_out_degree as usize,
+                    |cell| self.scan_cell_for(cell, position, banned),
+                    None,
+                )
+                .map(|(_, _, s)| s);
+        }
         let mut best: Option<(f64, u32)> = None;
-        for list in &self.cell_open {
-            for &s in list {
-                if banned.is_some_and(|set| set.contains(&s)) {
-                    continue;
-                }
-                let cost = self.attach_cost(s, position);
+        for cell in 0..self.cell_open.len() {
+            if let Some((cost, s)) = self.scan_cell_for(cell, position, banned) {
                 if best.is_none_or(|(bc, _)| cost < bc) {
                     best = Some((cost, s));
                 }
             }
         }
         best.map(|(_, s)| s)
+    }
+
+    /// Scans one cell's open list for the cheapest eligible host
+    /// (earliest strict minimum), counting the work.
+    fn scan_cell_for(
+        &self,
+        cell: usize,
+        position: &Point2,
+        banned: Option<&std::collections::HashSet<u32>>,
+    ) -> Option<(f64, u32)> {
+        self.probes.bump_cells();
+        let mut best: Option<(f64, u32)> = None;
+        for &s in &self.cell_open[cell] {
+            if banned.is_some_and(|set| set.contains(&s)) {
+                continue;
+            }
+            self.probes.bump_costs(1);
+            let cost = self.attach_cost(s, position);
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, s));
+            }
+        }
+        best
     }
 
     /// Removes a host.
@@ -636,6 +859,7 @@ impl DynamicOverlay {
             self.cell_open = vec![Vec::new()];
             self.grid = None;
             self.source_children = 0;
+            self.refresh_hgrid();
             return;
         }
         let (tree, report) = PolarGridBuilder::new()
@@ -696,6 +920,7 @@ impl DynamicOverlay {
         self.grid = Some(grid);
         self.cell_members = cell_members;
         self.cell_open = cell_open;
+        self.refresh_hgrid();
     }
 
     /// Materializes the current membership as an immutable
@@ -907,6 +1132,12 @@ impl DynamicOverlay {
             open_total, open_expected,
             "open index does not cover all open hosts"
         );
+        // The incrementally-maintained capacity index must agree with a
+        // from-scratch rebuild on every summary — counts and delay
+        // minima, bit for bit.
+        if let Some(hg) = &self.hgrid {
+            hg.assert_same(&self.build_hgrid());
+        }
     }
 }
 

@@ -182,6 +182,16 @@ impl ShardScratch {
                     self.view_cost(ov, a, pos)
                         .total_cmp(&self.view_cost(ov, b, pos))
                 }),
+                // Cells the batch has not copied-on-write are exactly the
+                // frozen pre-batch state, so the overlay's capacity index
+                // (snapshotted before phase A) can rule them out without
+                // touching the open list at all.
+                None if ov
+                    .hgrid_ref()
+                    .is_some_and(|hg| hg.cell_total(cell as usize) == 0) =>
+                {
+                    None
+                }
                 None => ov.cell_open[cell as usize]
                     .iter()
                     .map(|&s| SlotRef::Live(s))

@@ -18,6 +18,18 @@
 //! while the cross-shard invariants (sector ownership partitions the
 //! membership, global degree caps, drained speculation state, coherent
 //! batch counters) are re-checked after every batch.
+//!
+//! **`OMT_HGRID=1` axis.** Setting `OMT_HGRID=1` makes every overlay in
+//! this file construct with the hierarchical capacity-summary index
+//! (`omt-geom::hgrid`) enabled, so *all* of the campaigns above — the
+//! per-event invariant fuzz, both full-source regressions, and the whole
+//! sharded equivalence matrix — also run through the indexed parent
+//! search. `assert_invariants` reconciles the incrementally-maintained
+//! summary counters against a from-scratch index rebuild on every call,
+//! which the per-event and per-batch suites invoke after every event /
+//! batch. The dedicated tests at the bottom additionally pin indexed vs.
+//! scan bit-identity and the empty-cell short-circuit without needing the
+//! environment variable.
 
 use omt_core::{BuildError, ChurnEvent, DynamicOverlay, ShardedOverlay};
 use omt_geom::Point2;
@@ -510,4 +522,117 @@ fn sharded_interior_leave(
         "after cross-shard interior leave",
     );
     true
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical capacity-summary index: indexed vs. scan bit-identity and the
+// empty-cell short-circuit regression (no environment variable needed).
+// ---------------------------------------------------------------------------
+
+/// Replays the same churn trace into a scan-only overlay and an indexed
+/// one, comparing the parent *choice* for every join before applying it
+/// and reconciling the incremental summaries against a from-scratch index
+/// rebuild after every event (`assert_invariants` does exactly that when
+/// the index is on). Ends with a bit-level snapshot comparison.
+#[test]
+fn hgrid_indexed_churn_is_bit_identical_to_scan() {
+    for (seed, degree) in [(0xE1u64, 2u32), (0xE2, 4), (0xE3, 6)] {
+        let (trace, _) = build_trace(seed, degree, 600);
+        let mut scan = DynamicOverlay::new(Point2::ORIGIN, degree).unwrap();
+        scan.set_hgrid(false);
+        let mut indexed = DynamicOverlay::new(Point2::ORIGIN, degree).unwrap();
+        indexed.set_hgrid(true);
+        assert!(indexed.hgrid_enabled() && !scan.hgrid_enabled());
+        for (i, ev) in trace.iter().enumerate() {
+            match ev {
+                ChurnEvent::Join(p) => {
+                    assert_eq!(
+                        scan.peek_parent(p),
+                        indexed.peek_parent(p),
+                        "seed {seed:#x} degree {degree} event {i}: \
+                         indexed parent search disagrees with the scan"
+                    );
+                    assert_eq!(scan.join(*p), indexed.join(*p));
+                }
+                ChurnEvent::Leave(id) => {
+                    scan.leave(*id).unwrap();
+                    indexed.leave(*id).unwrap();
+                }
+            }
+            indexed.assert_invariants();
+            if i % 25 == 0 {
+                assert_trees_identical(
+                    &indexed.snapshot().unwrap(),
+                    &scan.snapshot().unwrap(),
+                    &format!("seed {seed:#x} degree {degree} event {i}"),
+                );
+            }
+        }
+        assert_trees_identical(
+            &indexed.snapshot().unwrap(),
+            &scan.snapshot().unwrap(),
+            &format!("seed {seed:#x} degree {degree} final"),
+        );
+        // The index must have actually saved work for the run to mean
+        // anything: fewer open-list consultations than the scan path.
+        let (scan_cells, _) = scan.search_probes();
+        let (indexed_cells, _) = indexed.search_probes();
+        assert!(
+            indexed_cells < scan_cells,
+            "seed {seed:#x} degree {degree}: index did not reduce scans \
+             ({indexed_cells} vs {scan_cells})"
+        );
+    }
+}
+
+/// Regression for the empty-cell scan waste fixed in this change: the
+/// open-host index used to be consulted (and its free-list walked) even
+/// for cells the capacity index knows are empty. A join whose entire
+/// ancestor-cell chain is empty must now touch **zero** open lists when
+/// the index is on — and still pick the identical parent (the source).
+#[test]
+fn empty_cell_join_scans_nothing_under_the_index() {
+    let mut scan = DynamicOverlay::new(Point2::ORIGIN, 4).unwrap();
+    scan.set_hgrid(false);
+    let mut indexed = DynamicOverlay::new(Point2::ORIGIN, 4).unwrap();
+    indexed.set_hgrid(true);
+    // A tight 3-host cluster near angle 0 at radius ~0.9: after a rebuild
+    // the grid's occupied cells all sit in the cluster's wedge, and the
+    // source still has open degree budget.
+    for i in 0..3 {
+        let a = 0.02 * f64::from(i);
+        let p = Point2::new([0.9 * a.cos(), 0.9 * a.sin()]);
+        scan.join(p);
+        indexed.join(p);
+    }
+    scan.rebuild();
+    indexed.rebuild();
+    indexed.assert_invariants();
+    // A join on the far side of the disk: every cell on its ancestor
+    // chain is empty, so the answer is the source either way.
+    let q = Point2::new([-0.9, 0.0]);
+    scan.reset_search_probes();
+    indexed.reset_search_probes();
+    let ps = scan.peek_parent(&q);
+    let pi = indexed.peek_parent(&q);
+    assert_eq!(ps, pi, "index changed the empty-chain answer");
+    assert_eq!(ps, None, "expected a fallback to the source");
+    let (scan_cells, _) = scan.search_probes();
+    assert!(
+        scan_cells > 0,
+        "scan path consulted no open lists — scenario is degenerate"
+    );
+    assert_eq!(
+        indexed.search_probes(),
+        (0, 0),
+        "indexed path consulted open lists for cells known to be empty"
+    );
+    // The actual join stays bit-identical too.
+    assert_eq!(scan.join(q), indexed.join(q));
+    indexed.assert_invariants();
+    assert_trees_identical(
+        &indexed.snapshot().unwrap(),
+        &scan.snapshot().unwrap(),
+        "after the empty-chain join",
+    );
 }

@@ -3,7 +3,7 @@
 //! theorem's hypotheses.
 
 use omt_core::PolarGridBuilder;
-use omt_geom::{Annulus, BoxRegion, ConvexPolygon, Disk, Point, Point2, Region};
+use omt_geom::{deepest_interior, Annulus, BoxRegion, ConvexPolygon, Disk, Point, Point2, Region};
 
 use crate::stats::Accumulator;
 use crate::workload::trial_rng;
@@ -71,6 +71,25 @@ fn scenarios() -> Vec<(String, bool, Box<dyn Region<2>>, Point2)> {
             )),
             Point2::ORIGIN,
         ),
+        // Representative placement for the generalization workload: the
+        // source sits at the region's deepest interior point (the
+        // polylabel-style search of `omt_geom::deepest_interior`), the
+        // natural center for polygons whose centroid hugs a boundary.
+        (
+            "trapezoid, deepest-interior source".into(),
+            true,
+            {
+                let poly = skewed_trapezoid();
+                Box::new(poly)
+            },
+            deepest_interior(&skewed_trapezoid(), 1e-6),
+        ),
+        (
+            "sliver triangle, deepest-interior source".into(),
+            true,
+            Box::new(sliver_triangle()),
+            deepest_interior(&sliver_triangle(), 1e-6),
+        ),
         (
             "annulus (non-convex)".into(),
             false,
@@ -78,6 +97,29 @@ fn scenarios() -> Vec<(String, bool, Box<dyn Region<2>>, Point2)> {
             Point2::ORIGIN,
         ),
     ]
+}
+
+/// A strongly skewed trapezoid whose centroid sits far from the deepest
+/// interior point.
+fn skewed_trapezoid() -> ConvexPolygon {
+    ConvexPolygon::new(vec![
+        Point2::new([-1.5, 0.0]),
+        Point2::new([1.5, 0.0]),
+        Point2::new([0.4, 0.8]),
+        Point2::new([-0.2, 0.8]),
+    ])
+    .expect("CCW convex vertices")
+}
+
+/// A long thin triangle: the centroid lies close to the long edge, while
+/// the deepest interior point maximizes clearance from all three sides.
+fn sliver_triangle() -> ConvexPolygon {
+    ConvexPolygon::new(vec![
+        Point2::new([-2.0, 0.0]),
+        Point2::new([2.0, 0.0]),
+        Point2::new([0.0, 0.5]),
+    ])
+    .expect("CCW convex vertices")
 }
 
 /// Runs all region scenarios at size `n` with the degree-6 algorithm.
@@ -134,7 +176,7 @@ mod tests {
     #[test]
     fn convex_regions_stay_near_optimal() {
         let rows = run_convex(1, 3000, 3);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 9);
         for r in rows.iter().filter(|r| r.convex) {
             assert!(
                 r.ratio < 2.0,

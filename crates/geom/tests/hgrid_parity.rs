@@ -1,0 +1,367 @@
+//! Differential parity suite for the hierarchical capacity-summary index
+//! ([`omt_geom::HGrid`]).
+//!
+//! Two independent proofs live here:
+//!
+//! 1. **Indexed ≡ scan, end to end.** Seeded churn campaigns (degrees
+//!    {2, 4, 6} × membership scales {1k, 10k, 100k} × several churn
+//!    schedules) replay the identical event stream into two
+//!    [`DynamicOverlay`]s — one answering parent searches through the
+//!    index, one through the per-cell linear scans — and compare the
+//!    parent *choice* for every single join before applying it, plus the
+//!    final trees bit for bit (positions, parents, delays, radius). The
+//!    indexed overlay additionally reconciles its incrementally-maintained
+//!    summaries against a from-scratch index rebuild at sampled events
+//!    (`assert_invariants`).
+//!
+//! 2. **No false prunes.** A shrink-enabled `props!` campaign builds
+//!    synthetic indexes over random geometries and host populations,
+//!    queries them with the prune audit on, and verifies — against a
+//!    brute-force linear scan — that the query's answer is exact and that
+//!    every pruned subtree's lower bound genuinely excludes the answer:
+//!    each open host under a pruned node costs at least the recorded
+//!    bound and strictly more than the final winner.
+//!
+//! The 100k-prefill campaign is `#[ignore]`d for everyday runs; CI's
+//! `hgrid` job and `scripts/verify.sh` run the default set in release.
+
+use core::f64::consts::TAU;
+
+use omt_core::DynamicOverlay;
+use omt_geom::{HGrid, Point2, PruneRecord};
+use omt_rng::rngs::SmallRng;
+use omt_rng::{prop_assert, prop_assert_eq, props, RngExt, SeedableRng};
+
+/// A churn schedule: phases of `(join_probability, events)` replayed in
+/// order. Leave targets are uniform over the live set.
+type Schedule = &'static [(f64, usize)];
+
+/// Steady state: the 2:1 join:leave mix of the core churn fuzz.
+const STEADY: Schedule = &[(2.0 / 3.0, 1)];
+
+/// Growth, then a decline that drains most of the membership, then
+/// regrowth — crosses many rebuild boundaries in both directions.
+const WAVES: Schedule = &[(0.95, 2), (0.15, 1), (0.85, 2)];
+
+/// Join-only prefill followed by pure steady churn at peak size.
+const PREFILL: Schedule = &[(1.0, 1), (0.5, 1)];
+
+/// Replays `events` churn events (schedule-weighted) into a scan overlay
+/// and an indexed overlay, proving the parent choice bit-equal on every
+/// join. `check_every` throttles the O(n) summary reconciliation and
+/// snapshot comparison for the big campaigns.
+fn parity_campaign(seed: u64, degree: u32, events: usize, schedule: Schedule, check_every: usize) {
+    let total_weight: usize = schedule.iter().map(|&(_, w)| w).sum();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scan = DynamicOverlay::new(Point2::ORIGIN, degree).unwrap();
+    scan.set_hgrid(false);
+    let mut indexed = DynamicOverlay::new(Point2::ORIGIN, degree).unwrap();
+    indexed.set_hgrid(true);
+    let mut live = Vec::new();
+    for i in 0..events {
+        // Pick the phase by position in the stream, then the event kind.
+        let phase = (i * total_weight / events).min(total_weight - 1);
+        let mut acc = 0;
+        let join_p = schedule
+            .iter()
+            .find(|&&(_, w)| {
+                acc += w;
+                phase < acc
+            })
+            .expect("phase indexes the schedule")
+            .0;
+        if live.len() < 8 || rng.random::<f64>() < join_p {
+            let p = Point2::new([rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)]);
+            // The load-bearing comparison: identical parent choice,
+            // before the join mutates anything.
+            assert_eq!(
+                scan.peek_parent(&p),
+                indexed.peek_parent(&p),
+                "seed {seed:#x} degree {degree} event {i}: parent choice diverged"
+            );
+            let a = scan.join(p);
+            let b = indexed.join(p);
+            assert_eq!(
+                a, b,
+                "seed {seed:#x} degree {degree} event {i}: ids diverged"
+            );
+            live.push(a);
+        } else {
+            let at = rng.random_range(0..live.len());
+            let id = live.remove(at);
+            scan.leave(id).unwrap();
+            indexed.leave(id).unwrap();
+        }
+        if i % check_every == 0 {
+            // Reconciles the incremental summaries against a from-scratch
+            // index rebuild, among the rest of the overlay invariants.
+            indexed.assert_invariants();
+            assert_trees_identical(&indexed, &scan, seed, degree, i);
+        }
+    }
+    indexed.assert_invariants();
+    assert_trees_identical(&indexed, &scan, seed, degree, events);
+    let (indexed_cells, _) = indexed.search_probes();
+    let (scan_cells, _) = scan.search_probes();
+    assert!(
+        indexed_cells < scan_cells,
+        "seed {seed:#x} degree {degree}: index saved no open-list scans \
+         ({indexed_cells} vs {scan_cells})"
+    );
+}
+
+/// Bit-level comparison of the two overlays' snapshots.
+fn assert_trees_identical(
+    indexed: &DynamicOverlay,
+    scan: &DynamicOverlay,
+    seed: u64,
+    degree: u32,
+    event: usize,
+) {
+    let got = indexed.snapshot().unwrap();
+    let want = scan.snapshot().unwrap();
+    let context = format!("seed {seed:#x} degree {degree} event {event}");
+    assert_eq!(got.len(), want.len(), "{context}: membership differs");
+    for i in 0..got.len() {
+        assert_eq!(
+            got.points()[i],
+            want.points()[i],
+            "{context}: host {i} position"
+        );
+        assert_eq!(got.parent(i), want.parent(i), "{context}: host {i} parent");
+        assert_eq!(
+            got.depth(i).to_bits(),
+            want.depth(i).to_bits(),
+            "{context}: host {i} delay bits"
+        );
+    }
+    assert_eq!(
+        got.radius().to_bits(),
+        want.radius().to_bits(),
+        "{context}: radius bits"
+    );
+}
+
+#[test]
+fn parity_1k_steady_all_degrees() {
+    for (seed, degree) in [(0x11u64, 2u32), (0x12, 4), (0x13, 6)] {
+        parity_campaign(seed, degree, 1_500, STEADY, 50);
+    }
+}
+
+#[test]
+fn parity_1k_waves_all_degrees() {
+    for (seed, degree) in [(0x21u64, 2u32), (0x22, 4), (0x23, 6)] {
+        parity_campaign(seed, degree, 1_500, WAVES, 50);
+    }
+}
+
+#[test]
+fn parity_1k_prefill_all_degrees() {
+    for (seed, degree) in [(0x31u64, 2u32), (0x32, 4), (0x33, 6)] {
+        parity_campaign(seed, degree, 1_500, PREFILL, 50);
+    }
+}
+
+#[test]
+fn parity_10k_steady() {
+    for (seed, degree) in [(0x41u64, 2u32), (0x42, 4), (0x43, 6)] {
+        parity_campaign(seed, degree, 12_000, STEADY, 2_000);
+    }
+}
+
+#[test]
+fn parity_10k_waves() {
+    parity_campaign(0x51, 4, 12_000, WAVES, 2_000);
+}
+
+/// The 100k-prefill campaign from the issue matrix. Ignored by default —
+/// minutes of runtime — but bit-for-bit like the rest:
+/// `cargo test -p omt-geom --release --test hgrid_parity -- --ignored`.
+#[test]
+#[ignore = "100k-host campaign; run explicitly in release"]
+fn parity_100k_prefill() {
+    parity_campaign(0x61, 4, 110_000, PREFILL, 20_000);
+}
+
+// ---------------------------------------------------------------------------
+// No-false-prune property: audited queries over synthetic geometries.
+// ---------------------------------------------------------------------------
+
+/// One synthetic open host: its flat cell, degree class, delay summary
+/// contribution, and a position inside the cell's sector region.
+#[derive(Clone, Debug)]
+struct SynthHost {
+    cell: usize,
+    class: usize,
+    delay: f64,
+    pos: Point2,
+}
+
+/// Builds a random population over a random grid geometry, returning the
+/// ring radii and hosts. Positions are sampled inside each host's sector
+/// region (angle within the segment's wedge, radius at or beyond the
+/// ring's inner radius) so the region bound argument applies exactly.
+fn synth_population(
+    rng: &mut SmallRng,
+    rings: u32,
+    classes: usize,
+    hosts: usize,
+) -> (Vec<f64>, Vec<SynthHost>) {
+    let mut ring_inner = vec![0.0f64];
+    let mut r = 0.0;
+    for _ in 1..=rings {
+        r += rng.random_range(0.05..0.5);
+        ring_inner.push(r);
+    }
+    let population = (0..hosts)
+        .map(|_| {
+            let ring = rng.random_range(0..=rings);
+            let segments = 1u64 << ring;
+            let seg = rng.random_range(0..segments);
+            let width = TAU / segments as f64;
+            let theta = (seg as f64 + rng.random::<f64>()) * width;
+            let radius = ring_inner[ring as usize] + rng.random_range(0.0..0.7);
+            SynthHost {
+                cell: ((1u64 << ring) - 1 + seg) as usize,
+                class: rng.random_range(0..classes),
+                delay: rng.random_range(0.0..2.0),
+                pos: Point2::new([radius * theta.cos(), radius * theta.sin()]),
+            }
+        })
+        .collect();
+    (ring_inner, population)
+}
+
+/// Declares the population to a fresh index, `set_cell` style.
+fn index_population(
+    rings: u32,
+    classes: usize,
+    ring_inner: &[f64],
+    population: &[SynthHost],
+) -> HGrid {
+    let mut hg = HGrid::new(rings, classes, ring_inner);
+    for cell in 0..hg.cells() {
+        let mut counts = vec![0u32; classes];
+        let mut min_delay = f64::INFINITY;
+        for h in population.iter().filter(|h| h.cell == cell) {
+            counts[h.class] += 1;
+            min_delay = min_delay.min(h.delay);
+        }
+        if counts.iter().any(|&c| c > 0) {
+            hg.set_cell(cell, &counts, min_delay);
+        }
+    }
+    hg
+}
+
+/// Whether `cell` lies in the subtree rooted at `node` (ancestor walk of
+/// the flat binary-heap layout).
+fn in_subtree(mut cell: usize, node: usize) -> bool {
+    loop {
+        if cell == node {
+            return true;
+        }
+        if cell == 0 {
+            return false;
+        }
+        cell = (cell - 1) / 2;
+    }
+}
+
+props! {
+    // Every audited query must (a) agree with a brute-force linear scan
+    // under the (cost, cell, list position) tie rule and (b) have pruned
+    // only subtrees whose recorded lower bound genuinely excludes the
+    // final answer: each capacity-eligible host under a pruned node costs
+    // at least the bound and strictly more than the winner.
+    #[cases(64)]
+    fn pruned_subtrees_never_hide_the_answer(
+        seed in 0u64..1_000_000,
+        rings in 1u32..6,
+        classes in 1usize..7,
+        hosts in 1usize..120,
+        cap_pick in 1usize..7,
+        qx in -2.0f64..2.0,
+        qy in -2.0f64..2.0
+    ) {
+        let cap = cap_pick.min(classes);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (ring_inner, population) = synth_population(&mut rng, rings, classes, hosts);
+        let hg = index_population(rings, classes, &ring_inner, &population);
+        let q = Point2::new([qx, qy]);
+        let cost_of = |h: &SynthHost| h.delay + q.distance(&h.pos);
+
+        // The per-cell closure mirrors the overlay's scan: earliest
+        // strict minimum among capacity-eligible hosts of that cell.
+        let mut audit = Vec::new();
+        let got = hg.best_open_parent(
+            &q,
+            cap,
+            |cell| {
+                population
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.cell == cell && h.class < cap)
+                    .map(|(i, h)| (cost_of(h), i))
+                    .fold(None, |acc: Option<(f64, usize)>, (c, i)| match acc {
+                        Some((bc, bi)) if bc <= c => Some((bc, bi)),
+                        _ => Some((c, i)),
+                    })
+            },
+            Some(&mut audit),
+        );
+
+        // Brute force: lexicographic minimum of (cost, cell, index).
+        let want = population
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.class < cap)
+            .map(|(i, h)| (cost_of(h), h.cell, i))
+            .fold(None, |acc: Option<(f64, usize, usize)>, (c, cell, i)| {
+                match acc {
+                    Some((bc, bcell, bi))
+                        if bc < c || (bc == c && (bcell, bi) <= (cell, i)) =>
+                    {
+                        Some((bc, bcell, bi))
+                    }
+                    _ => Some((c, cell, i)),
+                }
+            });
+
+        match (got, want) {
+            (None, None) => {}
+            (Some((gc, gcell, gi)), Some((wc, wcell, wi))) => {
+                prop_assert!(gc.to_bits() == wc.to_bits(), "cost differs: {gc} vs {wc}");
+                prop_assert_eq!(gcell, wcell);
+                prop_assert_eq!(gi, wi);
+            }
+            (g, w) => panic!("indexed {g:?} vs brute force {w:?}"),
+        }
+
+        // No false prunes: every record's bound must exclude the answer.
+        let final_best = got.map(|(c, _, _)| c);
+        for PruneRecord { node, lower_bound, best_at_prune } in audit {
+            let best =
+                final_best.expect("a prune implies an incumbent, so an answer exists");
+            prop_assert!(
+                lower_bound > best_at_prune,
+                "recorded a non-strict prune: {lower_bound} <= {best_at_prune}"
+            );
+            for h in population.iter().filter(|h| h.class < cap) {
+                if !in_subtree(h.cell, node) {
+                    continue;
+                }
+                let c = cost_of(h);
+                prop_assert!(
+                    c >= lower_bound,
+                    "host in pruned subtree {node} costs {c} < bound {lower_bound}"
+                );
+                prop_assert!(
+                    c > best,
+                    "pruned subtree {node} hid a host of cost {c} <= answer {best}"
+                );
+            }
+        }
+    }
+}

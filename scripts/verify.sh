@@ -33,6 +33,13 @@ cargo test -q --offline --workspace
 echo "==> OMT_THREADS=4 cargo test -q --release --offline -p omt-core --test churn_fuzz"
 OMT_THREADS=4 cargo test -q --release --offline -p omt-core --test churn_fuzz
 
+# The hierarchical capacity index must answer every best-parent search
+# bit-identically to the per-cell scan; the parity suite proves it
+# differentially per degree and churn schedule and audits the prune log
+# against brute force. OMT_THREADS=4 matches the churn suite above.
+echo "==> OMT_THREADS=4 cargo test -q --release --offline -p omt-geom --test hgrid_parity"
+OMT_THREADS=4 cargo test -q --release --offline -p omt-geom --test hgrid_parity
+
 # The decentralized protocol's acceptance pair: differential parity
 # against the centralized builder plus the fault-injection fuzz
 # campaigns, in release so the 10k-host legs stay fast. OMT_THREADS=4
