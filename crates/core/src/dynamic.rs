@@ -49,7 +49,7 @@
 use std::collections::HashMap;
 
 use omt_geom::{HGrid, Point2, PolarPoint};
-use omt_tree::{validate_parent_forest, MulticastTree, ParentRef, TreeBuilder};
+use omt_tree::{validate_parent_forest, MulticastTree, NodeId, ParentRef, TreeBuilder};
 
 use crate::error::BuildError;
 use crate::grid2::PolarGrid2;
@@ -65,9 +65,11 @@ pub struct HostId(u64);
 pub(crate) struct Host {
     pub(crate) position: Point2,
     /// Parent slot: `None` = the source (or detached, transiently inside
-    /// `leave` while an orphan awaits re-homing).
-    pub(crate) parent: Option<u32>,
-    pub(crate) children: Vec<u32>,
+    /// `leave` while an orphan awaits re-homing). Slots share the arena's
+    /// compact [`NodeId`] width, so the overlay's per-host footprint tracks
+    /// the static builders'.
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
     /// Cached source-to-host delay; refreshed along the subtree whenever
     /// the host is (re-)attached.
     pub(crate) delay: f64,
@@ -157,13 +159,13 @@ pub struct DynamicOverlay {
     max_out_degree: u32,
     pub(crate) hosts: Vec<Host>,
     /// Raw id -> slot of each live host.
-    slot_by_id: HashMap<u64, u32>,
+    slot_by_id: HashMap<u64, NodeId>,
     /// Recycled slots of departed hosts.
-    free_slots: Vec<u32>,
+    free_slots: Vec<NodeId>,
     /// Slots of live hosts, bucketed by their current grid cell.
-    cell_members: Vec<Vec<u32>>,
+    cell_members: Vec<Vec<NodeId>>,
     /// Slots of *open* live hosts (out-degree below budget), per cell.
-    pub(crate) cell_open: Vec<Vec<u32>>,
+    pub(crate) cell_open: Vec<Vec<NodeId>>,
     /// The grid the members are bucketed against (rebuilt on churn).
     pub(crate) grid: Option<PolarGrid2>,
     live: usize,

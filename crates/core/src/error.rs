@@ -45,6 +45,16 @@ pub enum BuildError {
         /// The requested number of shards.
         got: u32,
     },
+    /// The input has more points than the arena's `u32` node-id space can
+    /// address (`omt_tree::MAX_NODES`). Checked up front by the store
+    /// builders so oversized inputs fail with a typed error instead of
+    /// wrapping ids.
+    TooManyPoints {
+        /// The requested number of points.
+        nodes: usize,
+        /// The largest supported count ([`omt_tree::MAX_NODES`]).
+        max: usize,
+    },
     /// Internal tree construction failed. This indicates a bug in the
     /// algorithm implementation, never bad user input; it is surfaced
     /// instead of panicking so fuzzing can observe it.
@@ -73,6 +83,9 @@ impl fmt::Display for BuildError {
             ),
             Self::BadShardCount { got } => {
                 write!(f, "shard count {got} is not a power of two in 1..=64")
+            }
+            Self::TooManyPoints { nodes, max } => {
+                write!(f, "{nodes} points exceed the u32 node-id space (max {max})")
             }
             Self::Internal(e) => write!(f, "internal tree construction error: {e}"),
         }
@@ -119,6 +132,12 @@ mod tests {
         assert!(BuildError::BadShardCount { got: 3 }
             .to_string()
             .contains('3'));
+        assert!(BuildError::TooManyPoints {
+            nodes: 5_000_000_000,
+            max: omt_tree::MAX_NODES
+        }
+        .to_string()
+        .contains("5000000000"));
     }
 
     #[test]

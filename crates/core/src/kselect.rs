@@ -36,7 +36,11 @@ pub(crate) struct Assignments {
     pub ring: Vec<u32>,
     /// Angular bit path per point; only the top `min(ring, m)` bits are
     /// meaningful when reading a segment at a ring with `2^m` segments.
-    pub path: Vec<u64>,
+    ///
+    /// Stored as `u32`: [`finest_level`] caps `k_max` at 31, so every path
+    /// fits — and at million-scale this array is one of the two largest
+    /// transient allocations of the build, so halving its width matters.
+    pub path: Vec<u32>,
 }
 
 impl Assignments {
@@ -48,7 +52,8 @@ impl Assignments {
         let seg = if r == 0 {
             0
         } else {
-            self.path[p] >> (self.k_max - r)
+            // r >= 1 and k_max <= 31, so the shift is at most 30.
+            u64::from(self.path[p] >> (self.k_max - r))
         };
         (r, seg)
     }
@@ -172,13 +177,17 @@ pub(crate) fn bucket_cells(a: &Assignments, k: u32) -> (Vec<u32>, Vec<u32>) {
 
 /// The finest level to assign at, given `n` points: the largest `k` that
 /// could possibly be feasible (`2^k - 1` non-outermost cells cannot all be
-/// occupied with fewer points), capped so angular paths fit in `u64`.
+/// occupied with fewer points), capped at 31 so angular paths fit in `u32`.
+///
+/// The cap is value-identical to the historical `u64`-path cap of 60 for
+/// every `n < 2^31` — far beyond the arena's `u32` id space anyway — so the
+/// golden radii are unaffected.
 pub(crate) fn finest_level(n: usize) -> u32 {
     if n == 0 {
         return 0;
     }
     let k = (usize::BITS - n.leading_zeros()).saturating_sub(1) + 1; // ceil(log2(n)) + 1-ish
-    k.min(60)
+    k.min(31)
 }
 
 #[cfg(test)]
@@ -198,7 +207,7 @@ mod tests {
                     if c.0 == 0 {
                         0
                     } else {
-                        c.1 << (k_max - c.0)
+                        (c.1 << (k_max - c.0)) as u32
                     }
                 })
                 .collect(),
@@ -362,7 +371,7 @@ mod tests {
             path.push(if r == 0 {
                 0
             } else {
-                (z >> 8) % (1u64 << r) << (k_max - r)
+                ((z >> 8) % (1u64 << r) << (k_max - r)) as u32
             });
         }
         Assignments { k_max, ring, path }
@@ -428,7 +437,7 @@ mod tests {
         assert!(finest_level(1) >= 1);
         assert!(finest_level(100) >= 6);
         assert!(finest_level(1 << 20) >= 20);
-        assert!(finest_level(usize::MAX / 2) <= 60);
+        assert!(finest_level(usize::MAX / 2) <= 31, "paths must fit u32");
     }
 }
 
@@ -484,7 +493,13 @@ mod brute_force_tests {
                 ring: chosen.iter().map(|c| c.0).collect(),
                 path: chosen
                     .iter()
-                    .map(|c| if c.0 == 0 { 0 } else { c.1 << (k_max - c.0) })
+                    .map(|c| {
+                        if c.0 == 0 {
+                            0
+                        } else {
+                            (c.1 << (k_max - c.0)) as u32
+                        }
+                    })
                     .collect(),
             }
         };

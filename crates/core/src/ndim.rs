@@ -274,7 +274,10 @@ impl NdGridBuilder {
         let assignments = Assignments {
             k_max,
             ring: quant.iter().map(|q| ring_of(q.radius)).collect(),
-            path: quant.iter().map(|q| angular_path(q, k_max)).collect(),
+            path: quant
+                .iter()
+                .map(|q| angular_path(q, k_max) as u32)
+                .collect(),
         };
         let (k_auto, _) = select_rings(&assignments);
         let k = match self.rings_override {

@@ -22,7 +22,7 @@
 //! active-cell rule tolerates the empty cells outside the region.
 
 use omt_geom::{Point2, PointStore2, PolarPoint};
-use omt_tree::{MulticastTree, ParentRef, TreeArena, TreeBuilder};
+use omt_tree::{check_node_capacity, MulticastTree, NodeId, ParentRef, TreeArena, TreeBuilder};
 
 use omt_geom::RingSegment;
 use omt_tree::TreeError;
@@ -37,7 +37,12 @@ use crate::grid2::PolarGrid2;
 use crate::kselect::{
     bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
 };
-use crate::sink::EdgeList;
+use crate::sink::{unpack_parent, EdgeList, SharedArena, PACKED_SOURCE};
+
+/// Chunk length for the batched SoA pre-passes (finiteness scan, lower
+/// bound, polar-column ring/path binning): large enough to amortize the
+/// dispatch, small enough to load-balance on skewed machines.
+pub(crate) const SOA_CHUNK: usize = 1 << 16;
 
 /// One deferred in-cell bisection, captured in deterministic cell order
 /// during core wiring. Cells are independent by construction (a bisection
@@ -104,67 +109,114 @@ fn run_cell_jobs(
     Ok(())
 }
 
-/// The SoA twin of [`CellJob`]: instead of owning an index `Vec`, the job
-/// names a window `[start, end)` of the shared flat member array produced
-/// by the counting-sort partition. `Copy`, so the parallel path can hand
-/// jobs to workers without cloning index lists.
+/// The SoA twin of [`CellJob`], packed to 20 bytes: the job names its cell
+/// by `(ring, seg)` (the [`RingSegment`] geometry is pure arithmetic,
+/// re-derived from the grid at dispatch), its local root by a packed
+/// [`NodeId`] (`PACKED_SOURCE` = the source; the bisection offset `q` is
+/// always that root's radius, 0 for the source), and its members by a
+/// window `[start, end)` of the shared flat member array produced by the
+/// counting-sort partition. `Copy`, so the parallel path can hand jobs to
+/// workers without cloning index lists.
 #[derive(Clone, Copy, Debug)]
 struct SoaCellJob {
-    seg: RingSegment,
-    parent: ParentRef,
-    q: f64,
+    ring: u32,
+    seg: u32,
+    parent: NodeId,
     start: u32,
     end: u32,
 }
 
 /// Runs the per-cell bisections of the arena/SoA path. Sequentially each
 /// job bisects its window of the flat member array **in place** (one shared
-/// scratch, zero per-job allocation); in parallel each worker copies the
-/// window into a reusable buffer, emits a private edge list, and the lists
-/// replay in cell order — the same replay machinery (and therefore the same
-/// edge set) as [`run_cell_jobs`].
+/// scratch, zero per-job allocation). In parallel the window slices are
+/// split out of the member array up front — the counting-sort windows are
+/// sorted and disjoint, so this is a chain of `split_at_mut` — and every
+/// worker writes **directly** into the shared arena through its exclusive
+/// window and the [`SharedArena`] sink: no per-job edge buffers, no
+/// sequential replay. The edge set (and therefore the finished tree) is
+/// identical either way, because each attachment is a pure function of the
+/// job and the shared read-only polar columns.
 fn run_cell_jobs_soa(
     arena: &mut TreeArena<'_, 2>,
     polar: PolarSlices<'_>,
+    grid: &PolarGrid2,
     jobs: Vec<SoaCellJob>,
     members: &mut [u32],
     binary: bool,
     threads: usize,
 ) -> Result<(), TreeError> {
+    // Unpack the 20-byte job: cell geometry from pure grid arithmetic, and
+    // the bisection offset `q` as the local root's radius (0 at the
+    // source) — exactly the values the core pass computed when it emitted
+    // the job.
+    let job_geometry = |job: &SoaCellJob| -> (RingSegment, ParentRef, f64) {
+        let seg = grid.segment(job.ring, u64::from(job.seg));
+        let (parent, q) = if job.parent == PACKED_SOURCE {
+            (ParentRef::Source, 0.0)
+        } else {
+            (
+                ParentRef::Node(job.parent as usize),
+                polar.radius_of(job.parent),
+            )
+        };
+        (seg, parent, q)
+    };
     if threads <= 1 || jobs.len() <= 1 {
         let mut scratch = Scratch2::default();
         for job in jobs {
+            let (seg, parent, q) = job_geometry(&job);
             let idx = &mut members[job.start as usize..job.end as usize];
             if binary {
-                bisect2_soa(arena, polar, job.seg, job.parent, job.q, idx, &mut scratch)?;
+                bisect2_soa(arena, polar, seg, parent, q, idx, &mut scratch)?;
             } else {
-                bisect4_soa(arena, polar, job.seg, job.parent, job.q, idx, &mut scratch)?;
+                bisect4_soa(arena, polar, seg, parent, q, idx, &mut scratch)?;
             }
         }
         return Ok(());
     }
-    let members_ro: &[u32] = members;
-    let lists = omt_par::par_map_with(
-        &jobs,
-        threads,
-        || (Scratch2::default(), Vec::<u32>::new()),
-        |(scratch, buf), _, job| {
-            buf.clear();
-            buf.extend_from_slice(&members_ro[job.start as usize..job.end as usize]);
-            let mut edges = EdgeList::default();
-            let result = if binary {
-                bisect2_soa(&mut edges, polar, job.seg, job.parent, job.q, buf, scratch)
-            } else {
-                bisect4_soa(&mut edges, polar, job.seg, job.parent, job.q, buf, scratch)
-            };
-            result.map(|()| edges.0)
-        },
-    );
-    for list in lists {
-        for (child, parent) in list? {
-            attach(arena, child as usize, parent)?;
+    // Slice the member array into exclusive per-job windows. Job windows
+    // are emitted in ascending, non-overlapping order (cell order over a
+    // counting-sort permutation), so a forward chain of `split_at_mut`
+    // hands each job its own `&mut` window with no copying.
+    let mut filled = 0usize;
+    let mut work: Vec<(SoaCellJob, &mut [u32])> = Vec::with_capacity(jobs.len());
+    {
+        let mut rest: &mut [u32] = members;
+        let mut base = 0usize;
+        for job in jobs {
+            let (start, end) = (job.start as usize, job.end as usize);
+            debug_assert!(start >= base && end >= start, "job windows must ascend");
+            let tail = rest.split_at_mut(start - base).1;
+            let (win, tail) = tail.split_at_mut(end - start);
+            base = end;
+            rest = tail;
+            filled += win.len();
+            work.push((job, win));
         }
     }
+    let shared: &TreeArena<'_, 2> = arena;
+    let results = omt_par::par_map_with_mut(
+        &mut work,
+        threads,
+        Scratch2::default,
+        |scratch, _, (job, win)| {
+            let (seg, parent, q) = job_geometry(job);
+            let win: &mut [u32] = win;
+            let mut sink = SharedArena(shared);
+            if binary {
+                bisect2_soa(&mut sink, polar, seg, parent, q, win, scratch)
+            } else {
+                bisect4_soa(&mut sink, polar, seg, parent, q, win, scratch)
+            }
+        },
+    );
+    for r in results {
+        r?;
+    }
+    // Every window member was attached exactly once by its job; fold the
+    // statically known total into the arena's counter (the parallel attach
+    // methods leave it alone so the fill stays coordination-free).
+    arena.add_attached(filled);
     Ok(())
 }
 
@@ -389,7 +441,7 @@ impl PolarGridBuilder {
                 .collect(),
             path: polar
                 .iter()
-                .map(|p| ((p.angle * scale) as u64).min((1u64 << k_max) - 1))
+                .map(|p| ((p.angle * scale) as u64).min((1u64 << k_max) - 1) as u32)
                 .collect(),
         };
         let (k_auto, _) = select_rings(&assignments);
@@ -620,15 +672,31 @@ impl PolarGridBuilder {
         if !source.is_finite() {
             return Err(BuildError::NonFiniteSource);
         }
+        let n = store.len();
+        check_node_capacity(n).map_err(|_| BuildError::TooManyPoints {
+            nodes: n,
+            max: omt_tree::MAX_NODES,
+        })?;
         let (xs, ys) = (store.xs(), store.ys());
-        if let Some(bad) = (0..store.len()).find(|&i| !(xs[i].is_finite() && ys[i].is_finite())) {
+        let threads = omt_par::resolve_threads(self.threads);
+        // Chunked parallel finiteness scan: each chunk reports its first
+        // offending index (or none), and the first `Some` in chunk order is
+        // the global first — the same index the sequential scan finds.
+        let chunk_starts: Vec<usize> = (0..n).step_by(SOA_CHUNK).collect();
+        let first_bad = omt_par::par_map_indexed(&chunk_starts, threads, |_, &s| {
+            let e = (s + SOA_CHUNK).min(n);
+            (s..e).find(|&i| !(xs[i].is_finite() && ys[i].is_finite()))
+        })
+        .into_iter()
+        .flatten()
+        .next();
+        if let Some(bad) = first_bad {
             return Err(BuildError::NonFinitePoint { index: bad });
         }
-        let n = store.len();
         let _build_span = omt_obs::obs_span!("polar_grid/build");
         omt_obs::obs_count!("polar_grid/builds");
-        let mut arena = TreeArena::new(source, [xs, ys]).max_out_degree(self.max_out_degree);
         if n == 0 {
+            let arena = TreeArena::new(source, [xs, ys]).max_out_degree(self.max_out_degree);
             let tree = arena.into_tree()?;
             return Ok((
                 tree,
@@ -652,9 +720,18 @@ impl PolarGridBuilder {
             radius: store.radius(),
             angle: store.angle(),
         };
-        let lower_bound = polar.radius.iter().copied().fold(0.0, f64::max);
+        // Chunked parallel max: `f64::max` is associative over the finite,
+        // non-negative radii, so folding per-chunk maxima in chunk order is
+        // bit-identical to the flat fold.
+        let lower_bound = omt_par::par_map_indexed(&chunk_starts, threads, |_, &s| {
+            let e = (s + SOA_CHUNK).min(n);
+            polar.radius[s..e].iter().copied().fold(0.0, f64::max)
+        })
+        .into_iter()
+        .fold(0.0, f64::max);
         if lower_bound == 0.0 {
             // Every point coincides with the source.
+            let mut arena = TreeArena::new(source, [xs, ys]).max_out_degree(self.max_out_degree);
             fanout_sink(&mut arena, n, self.max_out_degree)?;
             let tree = arena.into_tree()?;
             return Ok((
@@ -674,23 +751,30 @@ impl PolarGridBuilder {
         // half-open outermost ring contains it.
         let rho = lower_bound * (1.0 + 1e-9);
 
-        // Assign every point once at the finest level, then select k.
+        // Assign every point once at the finest level, then select k. The
+        // ring/path binning is pure per-point math (a log2-guess ring locate
+        // plus an angle-to-bits scale), batched over disjoint column chunks.
         let k_max = finest_level(n);
         let finest = PolarGrid2::new(k_max, rho);
         let scale = (1u64 << k_max) as f64 / core::f64::consts::TAU;
-        let assignments = Assignments {
-            k_max,
-            ring: polar
-                .radius
-                .iter()
-                .map(|&r| finest.ring_of_radius(r))
-                .collect(),
-            path: polar
-                .angle
-                .iter()
-                .map(|&a| ((a * scale) as u64).min((1u64 << k_max) - 1))
-                .collect(),
-        };
+        let mut ring = vec![0u32; n];
+        let mut path = vec![0u32; n];
+        {
+            let mut chunks: Vec<(usize, &mut [u32], &mut [u32])> = ring
+                .chunks_mut(SOA_CHUNK)
+                .zip(path.chunks_mut(SOA_CHUNK))
+                .enumerate()
+                .map(|(ci, (r, p))| (ci * SOA_CHUNK, r, p))
+                .collect();
+            omt_par::par_map_indexed_mut(&mut chunks, threads, |_, (base, rc, pc)| {
+                for j in 0..rc.len() {
+                    let i = *base + j;
+                    rc[j] = finest.ring_of_radius(polar.radius[i]);
+                    pc[j] = ((polar.angle[i] * scale) as u64).min((1u64 << k_max) - 1) as u32;
+                }
+            });
+        }
+        let assignments = Assignments { k_max, ring, path };
         let (k_auto, _) = select_rings(&assignments);
         let k = match self.rings_override {
             None => k_auto,
@@ -712,28 +796,62 @@ impl PolarGridBuilder {
         // Bucket points per cell (counting sort into CSR lists). `members`
         // stays mutable: every downstream stage — representative removal,
         // connector picks, in-place bisection — permutes windows of this
-        // one flat array instead of materializing per-cell Vecs.
+        // one flat array instead of materializing per-cell Vecs. The
+        // assignments (two u32 columns) are dead after this and freed
+        // before the arena's node arrays are allocated, keeping them out of
+        // the peak-RSS window.
         let cells = cell_count(k);
         let (counts, mut members) = bucket_cells(&assignments, k);
+        drop(assignments);
         let cell_range = |c: usize| (counts[c] as usize, counts[c + 1] as usize);
         let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
         omt_obs::obs_observe!("polar_grid/occupied_cells", occupied_cells as u64);
         drop(partition_span);
 
+        let mut arena = TreeArena::new(source, [xs, ys]).max_out_degree(self.max_out_degree);
+
+        // Representative pre-pass: the dominant per-cell cost of the core
+        // pass is the representative pick — a `sin_cos` plus a distance
+        // scan over the whole window — and it reads only the window's
+        // original counting-sort order (a cell's window is first permuted
+        // during its *own* core step, after its pick). So the picks for
+        // every occupied ring ≥ 1 cell run in parallel up front, and the
+        // sequential core pass consumes them via a cursor.
+        let rep_span = omt_obs::obs_span!("polar_grid/reps");
+        let occupied_list: Vec<(u32, u32)> = (1..=k)
+            .flat_map(|ring| (0..(1u64 << ring)).map(move |seg| (ring, seg as u32)))
+            .filter(|&(ring, seg)| {
+                let c = cell_index(ring, u64::from(seg));
+                counts[c] != counts[c + 1]
+            })
+            .collect();
+        let reps: Vec<u32> = {
+            let members_ro: &[u32] = &members;
+            omt_par::par_map_indexed(&occupied_list, threads, |_, &(ring, seg)| {
+                let (cs, ce) = cell_range(cell_index(ring, u64::from(seg)));
+                let cell_seg = grid.segment(ring, u64::from(seg));
+                let inner_mid =
+                    PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
+                self.pick_rep_soa(polar, &members_ro[cs..ce], inner_mid)
+            })
+        };
+        drop(occupied_list);
+        drop(rep_span);
+
         // Same two-pass wiring as the legacy path: a sequential core pass
         // capturing one window-job per cell, then the bisection pass.
-        let threads = omt_par::resolve_threads(self.threads);
         let mut core_delay = 0.0f64;
-        let mut jobs: Vec<SoaCellJob> = Vec::new();
+        let mut jobs: Vec<SoaCellJob> = Vec::with_capacity(reps.len() + 1);
+        let mut next_rep = reps.iter().copied();
         if deg6 {
             let core_span = omt_obs::obs_span!("polar_grid/core");
             // rep_ref[cell] = the representative the cell's children attach to.
-            let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            let mut rep_ref: Vec<NodeId> = vec![PACKED_SOURCE; cells];
             // Ring 0: the source is the representative; bisect the rest.
             jobs.push(SoaCellJob {
-                seg: grid.segment(0, 0),
-                parent: ParentRef::Source,
-                q: 0.0,
+                ring: 0,
+                seg: 0,
+                parent: PACKED_SOURCE,
                 start: counts[0],
                 end: counts[1],
             });
@@ -744,15 +862,16 @@ impl PolarGridBuilder {
                     if cs == ce {
                         continue;
                     }
-                    let cell_seg = grid.segment(ring, seg);
-                    let inner_mid =
-                        PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
-                    let rep = self.pick_rep_soa(polar, &members[cs..ce], inner_mid);
+                    let rep = next_rep.next().expect("one pre-picked rep per cell");
                     let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
-                    attach(&mut arena, rep as usize, rep_ref[cell_index(pr, ps)])?;
+                    attach(
+                        &mut arena,
+                        rep as usize,
+                        unpack_parent(rep_ref[cell_index(pr, ps)]),
+                    )?;
                     core_delay =
                         core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
-                    rep_ref[c] = ParentRef::Node(rep as usize);
+                    rep_ref[c] = rep;
                     // Order-preserving removal of the representative from
                     // the window (the legacy path's `filter(p != rep)`):
                     // rotate it to the back and shrink the job range.
@@ -760,21 +879,24 @@ impl PolarGridBuilder {
                     let pos = sub.iter().position(|&p| p == rep).expect("rep is a member");
                     sub[pos..].rotate_left(1);
                     jobs.push(SoaCellJob {
-                        seg: grid.segment(ring, seg),
-                        parent: ParentRef::Node(rep as usize),
-                        q: polar.radius_of(rep),
+                        ring,
+                        seg: seg as u32,
+                        parent: rep,
                         start: cs as u32,
                         end: (ce - 1) as u32,
                     });
                 }
             }
             drop(core_span);
-            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
-            run_cell_jobs_soa(&mut arena, polar, jobs, &mut members, false, threads)?;
+            drop(rep_ref);
         } else {
             let core_span = omt_obs::obs_span!("polar_grid/core");
-            // Degree-2 wiring (Section IV-A); see `wire_cell_deg2`.
-            let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            // Degree-2 wiring (Section IV-A); see `wire_cell_deg2`. The
+            // connector and bisection-source picks stay in the sequential
+            // core pass: unlike the rep pick they run over a window the
+            // pass has already permuted, so hoisting them would change the
+            // comparison order and break bit parity.
+            let mut connector: Vec<NodeId> = vec![PACKED_SOURCE; cells];
             // Ring 0 — the source is the representative.
             {
                 let nonempty = |c: usize| counts[c] != counts[c + 1];
@@ -784,11 +906,9 @@ impl PolarGridBuilder {
                 let (conn, job) = self.wire_cell_deg2_soa(
                     &mut arena,
                     polar,
-                    &grid,
                     0,
                     0,
-                    ParentRef::Source,
-                    0.0,
+                    PACKED_SOURCE,
                     &mut members,
                     cs,
                     ce,
@@ -805,12 +925,13 @@ impl PolarGridBuilder {
                     if cs == ce {
                         continue;
                     }
-                    let cell_seg = grid.segment(ring, seg);
-                    let inner_mid =
-                        PolarPoint::new(cell_seg.r_lo(), cell_seg.arc().mid()).to_cartesian();
-                    let rep = self.pick_rep_soa(polar, &members[cs..ce], inner_mid);
+                    let rep = next_rep.next().expect("one pre-picked rep per cell");
                     let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
-                    attach(&mut arena, rep as usize, connector[cell_index(pr, ps)])?;
+                    attach(
+                        &mut arena,
+                        rep as usize,
+                        unpack_parent(connector[cell_index(pr, ps)]),
+                    )?;
                     core_delay =
                         core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
                     let has_core_children = match grid.children(ring, seg) {
@@ -823,11 +944,9 @@ impl PolarGridBuilder {
                     let (conn, job) = self.wire_cell_deg2_soa(
                         &mut arena,
                         polar,
-                        &grid,
                         ring,
-                        seg,
-                        ParentRef::Node(rep as usize),
-                        polar.radius_of(rep),
+                        seg as u32,
+                        rep,
                         &mut members,
                         cs,
                         ce,
@@ -839,9 +958,17 @@ impl PolarGridBuilder {
                 }
             }
             drop(core_span);
-            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
-            run_cell_jobs_soa(&mut arena, polar, jobs, &mut members, true, threads)?;
+            drop(connector);
         }
+        debug_assert!(next_rep.next().is_none(), "every pre-picked rep consumed");
+        drop(reps);
+        drop(counts);
+
+        {
+            let _cells_span = omt_obs::obs_span!("polar_grid/cells");
+            run_cell_jobs_soa(&mut arena, polar, &grid, jobs, &mut members, !deg6, threads)?;
+        }
+        drop(members);
 
         let _finish_span = omt_obs::obs_span!("polar_grid/finish");
         let tree = arena.into_tree()?;
@@ -895,17 +1022,22 @@ impl PolarGridBuilder {
         &self,
         arena: &mut TreeArena<'_, 2>,
         polar: PolarSlices<'_>,
-        grid: &PolarGrid2,
         ring: u32,
-        seg: u64,
-        rep_ref: ParentRef,
-        rep_radius: f64,
+        seg: u32,
+        rep_ref: NodeId,
         members: &mut [u32],
         cs: usize,
         ce: usize,
         rep: Option<u32>,
         has_core_children: bool,
-    ) -> Result<(ParentRef, Option<SoaCellJob>), BuildError> {
+    ) -> Result<(NodeId, Option<SoaCellJob>), BuildError> {
+        // The rep's radius is derivable from the packed reference: the
+        // source sits at radius 0, anything else is a point id.
+        let rep_radius = if rep_ref == PACKED_SOURCE {
+            0.0
+        } else {
+            polar.radius_of(rep_ref)
+        };
         // Drop the representative from the window, preserving order.
         let mut end = ce;
         if let Some(r) = rep {
@@ -924,16 +1056,17 @@ impl PolarGridBuilder {
                 // Case 2: rep -> other; the other point becomes the
                 // connector with both links spare.
                 let other = members[cs];
-                attach(arena, other as usize, rep_ref)?;
-                Ok((ParentRef::Node(other as usize), None))
+                attach(arena, other as usize, unpack_parent(rep_ref))?;
+                Ok((other, None))
             }
             _ => {
                 // Case 3: rep -> {bisection source, connector}; the
                 // connector keeps both links for the child cells.
                 let connector = if has_core_children {
-                    let rep_pos = match rep_ref {
-                        ParentRef::Source => omt_geom::Point2::ORIGIN,
-                        ParentRef::Node(r) => polar.get(r as u32).to_cartesian(),
+                    let rep_pos = if rep_ref == PACKED_SOURCE {
+                        omt_geom::Point2::ORIGIN
+                    } else {
+                        polar.get(rep_ref).to_cartesian()
                     };
                     let pos = members[cs..end]
                         .iter()
@@ -950,8 +1083,8 @@ impl PolarGridBuilder {
                     sub.swap(pos, last);
                     let x = sub[last];
                     end -= 1;
-                    attach(arena, x as usize, rep_ref)?;
-                    Some(ParentRef::Node(x as usize))
+                    attach(arena, x as usize, unpack_parent(rep_ref))?;
+                    Some(x)
                 } else {
                     None
                 };
@@ -973,11 +1106,11 @@ impl PolarGridBuilder {
                     sub.swap(pos, last);
                     let s = sub[last];
                     end -= 1;
-                    attach(arena, s as usize, rep_ref)?;
+                    attach(arena, s as usize, unpack_parent(rep_ref))?;
                     job = Some(SoaCellJob {
-                        seg: grid.segment(ring, seg),
-                        parent: ParentRef::Node(s as usize),
-                        q: polar.radius_of(s),
+                        ring,
+                        seg,
+                        parent: s,
                         start: cs as u32,
                         end: end as u32,
                     });

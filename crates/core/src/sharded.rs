@@ -32,6 +32,7 @@
 use std::collections::HashMap;
 
 use omt_geom::Point2;
+use omt_tree::NodeId;
 
 use crate::dynamic::{unflatten, DynamicOverlay, HostId};
 use crate::error::BuildError;
@@ -74,7 +75,7 @@ pub struct BatchStats {
 /// index) that the shard itself placed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum SlotRef {
-    Live(u32),
+    Live(NodeId),
     Pending(u32),
 }
 

@@ -4,14 +4,34 @@
 //! The bisection subroutines are pure functions of their inputs — they
 //! never read back from the tree under construction — so *what* they
 //! attach is independent of *where* the attachments go. Sequentially they
-//! write straight into the [`TreeBuilder`]; in the parallel path each cell
-//! writes into a private [`EdgeList`] on a worker thread, and the lists
-//! are replayed into the builder in deterministic cell order afterwards.
-//! Either way the edge set is identical, so the finished tree is
-//! bit-identical (parent, depth, hop and CSR arrays only depend on the
-//! edge set, not on attachment order).
+//! write straight into the [`TreeBuilder`] or [`TreeArena`]; in the
+//! parallel store path each cell job writes **directly** into the shared
+//! arena through [`SharedArena`], exploiting the disjointness of the
+//! counting-sort cell windows (each job's write set is its own window plus
+//! its already-attached representative — no two jobs overlap). Either way
+//! the edge set is identical, so the finished tree is bit-identical
+//! (parent, depth, hop and CSR arrays only depend on the edge set, not on
+//! attachment order). [`EdgeList`] remains as the deferred-recording sink
+//! for callers that genuinely need to replay (the legacy builder's
+//! parallel path).
 
-use omt_tree::{ParentRef, TreeArena, TreeBuilder, TreeError};
+use omt_tree::{NodeId, ParentRef, TreeArena, TreeBuilder, TreeError};
+
+/// Packed parent reference for the cell-job structs: a [`NodeId`] with
+/// `NodeId::MAX` meaning the source. 4 bytes instead of the 16-byte
+/// `ParentRef`, which matters when a million-point build carries a job per
+/// occupied cell.
+pub(crate) const PACKED_SOURCE: NodeId = NodeId::MAX;
+
+/// Expands a packed parent back into a [`ParentRef`].
+#[inline]
+pub(crate) fn unpack_parent(p: NodeId) -> ParentRef {
+    if p == PACKED_SOURCE {
+        ParentRef::Source
+    } else {
+        ParentRef::Node(p as usize)
+    }
+}
 
 /// Accepts `child -> parent` attachments emitted by the bisection
 /// subroutines.
@@ -34,6 +54,25 @@ impl<const D: usize> AttachSink for TreeArena<'_, D> {
         match parent {
             ParentRef::Source => self.attach_to_source(child as usize),
             ParentRef::Node(p) => self.attach(child as usize, p),
+        }
+    }
+}
+
+/// A sink that writes into a shared [`TreeArena`] through `&self`, using
+/// the arena's parallel attachment methods.
+///
+/// This is what each parallel cell job holds: the attachments land in the
+/// arena immediately, on the worker thread, with no per-job edge buffer and
+/// no sequential replay. The caller owns the disjointness argument (see
+/// [`TreeArena::attach_parallel`]); the grid builders satisfy it by giving
+/// each job an exclusive counting-sort window.
+pub(crate) struct SharedArena<'s, 'a, const D: usize>(pub &'s TreeArena<'a, D>);
+
+impl<const D: usize> AttachSink for SharedArena<'_, '_, D> {
+    fn attach_edge(&mut self, child: u32, parent: ParentRef) -> Result<(), TreeError> {
+        match parent {
+            ParentRef::Source => self.0.attach_to_source_parallel(child as usize),
+            ParentRef::Node(p) => self.0.attach_parallel(child as usize, p),
         }
     }
 }
@@ -73,6 +112,30 @@ mod tests {
         assert_eq!(
             list.0,
             vec![(3, ParentRef::Source), (1, ParentRef::Node(3))]
+        );
+    }
+
+    #[test]
+    fn shared_arena_sink_matches_sequential_arena() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [0.0, 0.5, 1.0];
+        let mut direct = TreeArena::new(Point2::ORIGIN, [&xs, &ys]);
+        attach(&mut direct, 0, ParentRef::Source).unwrap();
+        attach(&mut direct, 1, ParentRef::Node(0)).unwrap();
+        attach(&mut direct, 2, ParentRef::Node(1)).unwrap();
+
+        let mut shared = TreeArena::new(Point2::ORIGIN, [&xs, &ys]);
+        {
+            let mut sink = SharedArena(&shared);
+            attach(&mut sink, 0, ParentRef::Source).unwrap();
+            attach(&mut sink, 1, ParentRef::Node(0)).unwrap();
+            attach(&mut sink, 2, ParentRef::Node(1)).unwrap();
+        }
+        shared.add_attached(3);
+        assert_eq!(
+            direct.into_tree().unwrap(),
+            shared.into_tree().unwrap(),
+            "direct-fill sink must be indistinguishable from &mut attachment"
         );
     }
 

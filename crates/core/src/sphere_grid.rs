@@ -4,7 +4,9 @@
 //! (2 core + 8 bisection links), or the degree-2 wiring.
 
 use omt_geom::{Point3, PointStore3, ShellCell, SphericalPoint};
-use omt_tree::{MulticastTree, ParentRef, TreeArena, TreeBuilder, TreeError};
+use omt_tree::{
+    check_node_capacity, MulticastTree, NodeId, ParentRef, TreeArena, TreeBuilder, TreeError,
+};
 
 use crate::bisect3d::{
     attach3, bisect2_3d, bisect2_3d_soa, bisect8, bisect8_soa, fanout_chain3, Scratch3, SphSlices,
@@ -15,8 +17,8 @@ use crate::grid3::SphereGrid3;
 use crate::kselect::{
     bucket_cells, cell_count, cell_index, finest_level, select_rings, Assignments,
 };
-use crate::polar_grid::{PolarGridReport, RepStrategy};
-use crate::sink::EdgeList;
+use crate::polar_grid::{PolarGridReport, RepStrategy, SOA_CHUNK};
+use crate::sink::{unpack_parent, EdgeList, SharedArena, PACKED_SOURCE};
 
 /// One deferred in-cell bisection (the 3-D twin of the 2-D `CellJob`):
 /// pure data, independent across cells, safe to run on any thread.
@@ -79,62 +81,99 @@ fn run_cell_jobs3(
     Ok(())
 }
 
-/// One deferred in-cell bisection on the SoA path: the cell's members are
-/// the window `[start, end)` of the flat, counting-sorted member array.
+/// The SoA twin of [`CellJob3`], packed to 20 bytes (the 3-D analogue of
+/// the 2-D `SoaCellJob`): the job names its cell by `(ring, seg)` — the
+/// [`ShellCell`] geometry is pure arithmetic, re-derived from the grid at
+/// dispatch — its local root by a packed [`NodeId`] (`PACKED_SOURCE` = the
+/// source; the bisection offset `q` is always that root's radius, 0 for
+/// the source), and its members by a window `[start, end)` of the shared
+/// flat member array.
 #[derive(Clone, Copy, Debug)]
 struct SoaCellJob3 {
-    cell: ShellCell,
-    parent: ParentRef,
-    q: f64,
+    ring: u32,
+    seg: u32,
+    parent: NodeId,
     start: u32,
     end: u32,
 }
 
-/// 3-D twin of `run_cell_jobs_soa` (see `crate::polar_grid`): in place on
-/// windows of the flat member array with one thread, or per-job edge
-/// lists from window copies replayed in job order with more.
+/// 3-D twin of `run_cell_jobs_soa` (see `crate::polar_grid`): sequentially
+/// each job bisects its window of the flat member array in place; in
+/// parallel the disjoint windows are split out with `split_at_mut` and
+/// every worker writes directly into the shared arena through the
+/// [`SharedArena`] sink — no edge buffers, no replay.
 fn run_cell_jobs3_soa(
     arena: &mut TreeArena<'_, 3>,
     sph: SphSlices<'_>,
+    grid: &SphereGrid3,
     jobs: Vec<SoaCellJob3>,
     members: &mut [u32],
     binary: bool,
     threads: usize,
 ) -> Result<(), TreeError> {
+    let job_geometry = |job: &SoaCellJob3| -> (ShellCell, ParentRef, f64) {
+        let cell = grid.cell(job.ring, u64::from(job.seg));
+        let (parent, q) = if job.parent == PACKED_SOURCE {
+            (ParentRef::Source, 0.0)
+        } else {
+            (
+                ParentRef::Node(job.parent as usize),
+                sph.radius_of(job.parent),
+            )
+        };
+        (cell, parent, q)
+    };
     if threads <= 1 || jobs.len() <= 1 {
         let mut scratch = Scratch3::default();
         for job in jobs {
+            let (cell, parent, q) = job_geometry(&job);
             let idx = &mut members[job.start as usize..job.end as usize];
             if binary {
-                bisect2_3d_soa(arena, sph, job.cell, job.parent, job.q, idx, &mut scratch)?;
+                bisect2_3d_soa(arena, sph, cell, parent, q, idx, &mut scratch)?;
             } else {
-                bisect8_soa(arena, sph, job.cell, job.parent, job.q, idx, &mut scratch)?;
+                bisect8_soa(arena, sph, cell, parent, q, idx, &mut scratch)?;
             }
         }
         return Ok(());
     }
-    let members_ro: &[u32] = members;
-    let lists = omt_par::par_map_with(
-        &jobs,
-        threads,
-        || (Scratch3::default(), Vec::<u32>::new()),
-        |(scratch, buf), _, job| {
-            buf.clear();
-            buf.extend_from_slice(&members_ro[job.start as usize..job.end as usize]);
-            let mut edges = EdgeList::default();
-            let result = if binary {
-                bisect2_3d_soa(&mut edges, sph, job.cell, job.parent, job.q, buf, scratch)
-            } else {
-                bisect8_soa(&mut edges, sph, job.cell, job.parent, job.q, buf, scratch)
-            };
-            result.map(|()| edges.0)
-        },
-    );
-    for list in lists {
-        for (child, parent) in list? {
-            attach3(arena, child as usize, parent)?;
+    // Exclusive per-job windows out of the flat member array (ascending and
+    // disjoint by construction of the counting-sort partition).
+    let mut filled = 0usize;
+    let mut work: Vec<(SoaCellJob3, &mut [u32])> = Vec::with_capacity(jobs.len());
+    {
+        let mut rest: &mut [u32] = members;
+        let mut base = 0usize;
+        for job in jobs {
+            let (start, end) = (job.start as usize, job.end as usize);
+            debug_assert!(start >= base && end >= start, "job windows must ascend");
+            let tail = rest.split_at_mut(start - base).1;
+            let (win, tail) = tail.split_at_mut(end - start);
+            base = end;
+            rest = tail;
+            filled += win.len();
+            work.push((job, win));
         }
     }
+    let shared: &TreeArena<'_, 3> = arena;
+    let results = omt_par::par_map_with_mut(
+        &mut work,
+        threads,
+        Scratch3::default,
+        |scratch, _, (job, win)| {
+            let (cell, parent, q) = job_geometry(job);
+            let win: &mut [u32] = win;
+            let mut sink = SharedArena(shared);
+            if binary {
+                bisect2_3d_soa(&mut sink, sph, cell, parent, q, win, scratch)
+            } else {
+                bisect8_soa(&mut sink, sph, cell, parent, q, win, scratch)
+            }
+        },
+    );
+    for r in results {
+        r?;
+    }
+    arena.add_attached(filled);
     Ok(())
 }
 
@@ -291,7 +330,7 @@ impl SphereGridBuilder {
                 .iter()
                 .map(|p| finest.ring_of_radius(p.radius))
                 .collect(),
-            path: sph.iter().map(|p| finest.angular_path(p)).collect(),
+            path: sph.iter().map(|p| finest.angular_path(p) as u32).collect(),
         };
         let (k_auto, _) = select_rings(&assignments);
         let k = match self.rings_override {
@@ -510,17 +549,30 @@ impl SphereGridBuilder {
         if !source.is_finite() {
             return Err(BuildError::NonFiniteSource);
         }
+        let n = store.len();
+        check_node_capacity(n).map_err(|_| BuildError::TooManyPoints {
+            nodes: n,
+            max: omt_tree::MAX_NODES,
+        })?;
         let (xs, ys, zs) = (store.xs(), store.ys(), store.zs());
-        if let Some(bad) = (0..store.len())
-            .find(|&i| !(xs[i].is_finite() && ys[i].is_finite() && zs[i].is_finite()))
-        {
+        let threads = omt_par::resolve_threads(self.threads);
+        // Chunked parallel finiteness scan; the first `Some` in chunk order
+        // is the global first offending index.
+        let chunk_starts: Vec<usize> = (0..n).step_by(SOA_CHUNK).collect();
+        let first_bad = omt_par::par_map_indexed(&chunk_starts, threads, |_, &s| {
+            let e = (s + SOA_CHUNK).min(n);
+            (s..e).find(|&i| !(xs[i].is_finite() && ys[i].is_finite() && zs[i].is_finite()))
+        })
+        .into_iter()
+        .flatten()
+        .next();
+        if let Some(bad) = first_bad {
             return Err(BuildError::NonFinitePoint { index: bad });
         }
-        let n = store.len();
         let _build_span = omt_obs::obs_span!("sphere_grid/build");
         omt_obs::obs_count!("sphere_grid/builds");
-        let mut arena = TreeArena::new(source, [xs, ys, zs]).max_out_degree(self.max_out_degree);
         if n == 0 {
+            let arena = TreeArena::new(source, [xs, ys, zs]).max_out_degree(self.max_out_degree);
             let tree = arena.into_tree()?;
             return Ok((tree, trivial_report(0)));
         }
@@ -530,8 +582,17 @@ impl SphereGridBuilder {
             azimuth: store.azimuth(),
             cos_polar: store.cos_polar(),
         };
-        let lower_bound = sph.radius.iter().copied().fold(0.0, f64::max);
+        // Chunked parallel max (associative over finite non-negative radii,
+        // so bit-identical to the flat fold).
+        let lower_bound = omt_par::par_map_indexed(&chunk_starts, threads, |_, &s| {
+            let e = (s + SOA_CHUNK).min(n);
+            sph.radius[s..e].iter().copied().fold(0.0, f64::max)
+        })
+        .into_iter()
+        .fold(0.0, f64::max);
         if lower_bound == 0.0 {
+            let mut arena =
+                TreeArena::new(source, [xs, ys, zs]).max_out_degree(self.max_out_degree);
             fanout_sink(&mut arena, n, self.max_out_degree)?;
             let tree = arena.into_tree()?;
             let mut report = trivial_report(1);
@@ -540,19 +601,27 @@ impl SphereGridBuilder {
         }
         let rho = lower_bound * (1.0 + 1e-9);
 
+        // Finest-level assignment, batched over disjoint column chunks.
         let k_max = finest_level(n);
         let finest = SphereGrid3::new(k_max, rho);
-        let assignments = Assignments {
-            k_max,
-            ring: sph
-                .radius
-                .iter()
-                .map(|&r| finest.ring_of_radius(r))
-                .collect(),
-            path: (0..n as u32)
-                .map(|i| finest.angular_path(&sph.get(i)))
-                .collect(),
-        };
+        let mut ring = vec![0u32; n];
+        let mut path = vec![0u32; n];
+        {
+            let mut chunks: Vec<(usize, &mut [u32], &mut [u32])> = ring
+                .chunks_mut(SOA_CHUNK)
+                .zip(path.chunks_mut(SOA_CHUNK))
+                .enumerate()
+                .map(|(ci, (r, p))| (ci * SOA_CHUNK, r, p))
+                .collect();
+            omt_par::par_map_indexed_mut(&mut chunks, threads, |_, (base, rc, pc)| {
+                for j in 0..rc.len() {
+                    let i = *base + j;
+                    rc[j] = finest.ring_of_radius(sph.radius[i]);
+                    pc[j] = finest.angular_path(&sph.get(i as u32)) as u32;
+                }
+            });
+        }
+        let assignments = Assignments { k_max, ring, path };
         let (k_auto, _) = select_rings(&assignments);
         let k = match self.rings_override {
             None => k_auto,
@@ -568,24 +637,55 @@ impl SphereGridBuilder {
         let deg10 = self.max_out_degree >= 10;
 
         // Bucket points per cell (counting sort); every later stage
-        // permutes windows of this one flat array.
+        // permutes windows of this one flat array. The assignment columns
+        // are dead after this and freed before the arena's node arrays are
+        // allocated, keeping them out of the peak-RSS window.
         let cells = cell_count(k);
         let (counts, mut members) = bucket_cells(&assignments, k);
+        drop(assignments);
         let cell_range = |c: usize| (counts[c] as usize, counts[c + 1] as usize);
         let occupied_cells = (0..cells).filter(|&c| counts[c] != counts[c + 1]).count();
         omt_obs::obs_observe!("sphere_grid/occupied_cells", occupied_cells as u64);
         drop(partition_span);
 
-        let threads = omt_par::resolve_threads(self.threads);
+        let mut arena = TreeArena::new(source, [xs, ys, zs]).max_out_degree(self.max_out_degree);
+
+        // Representative pre-pass (see `crate::polar_grid`): picks depend
+        // only on the un-permuted window contents, so they run in parallel
+        // up front and the sequential core pass consumes them via a cursor.
+        let rep_span = omt_obs::obs_span!("sphere_grid/reps");
+        let occupied_list: Vec<(u32, u32)> = (1..=k)
+            .flat_map(|ring| (0..(1u64 << ring)).map(move |seg| (ring, seg as u32)))
+            .filter(|&(ring, seg)| {
+                let c = cell_index(ring, u64::from(seg));
+                counts[c] != counts[c + 1]
+            })
+            .collect();
+        let reps: Vec<u32> = {
+            let members_ro: &[u32] = &members;
+            omt_par::par_map_indexed(&occupied_list, threads, |_, &(ring, seg)| {
+                let (cs, ce) = cell_range(cell_index(ring, u64::from(seg)));
+                pick_rep_soa(
+                    self.rep_strategy,
+                    sph,
+                    &members_ro[cs..ce],
+                    inner_arc_mid(&grid, ring, u64::from(seg)),
+                )
+            })
+        };
+        drop(occupied_list);
+        drop(rep_span);
+
         let mut core_delay = 0.0f64;
-        let mut jobs: Vec<SoaCellJob3> = Vec::new();
+        let mut jobs: Vec<SoaCellJob3> = Vec::with_capacity(reps.len() + 1);
+        let mut next_rep = reps.iter().copied();
         if deg10 {
             let core_span = omt_obs::obs_span!("sphere_grid/core");
-            let mut rep_ref: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            let mut rep_ref: Vec<NodeId> = vec![PACKED_SOURCE; cells];
             jobs.push(SoaCellJob3 {
-                cell: grid.cell(0, 0),
-                parent: ParentRef::Source,
-                q: 0.0,
+                ring: 0,
+                seg: 0,
+                parent: PACKED_SOURCE,
                 start: counts[0],
                 end: counts[1],
             });
@@ -596,36 +696,34 @@ impl SphereGridBuilder {
                     if cs == ce {
                         continue;
                     }
-                    let rep = pick_rep_soa(
-                        self.rep_strategy,
-                        sph,
-                        &members[cs..ce],
-                        inner_arc_mid(&grid, ring, seg),
-                    );
+                    let rep = next_rep.next().expect("one pre-picked rep per cell");
                     let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
-                    attach3(&mut arena, rep as usize, rep_ref[cell_index(pr, ps)])?;
+                    attach3(
+                        &mut arena,
+                        rep as usize,
+                        unpack_parent(rep_ref[cell_index(pr, ps)]),
+                    )?;
                     core_delay =
                         core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
-                    rep_ref[c] = ParentRef::Node(rep as usize);
+                    rep_ref[c] = rep;
                     // Order-preserving removal of the representative.
                     let sub = &mut members[cs..ce];
                     let pos = sub.iter().position(|&p| p == rep).expect("rep is a member");
                     sub[pos..].rotate_left(1);
                     jobs.push(SoaCellJob3 {
-                        cell: grid.cell(ring, seg),
-                        parent: ParentRef::Node(rep as usize),
-                        q: sph.radius_of(rep),
+                        ring,
+                        seg: seg as u32,
+                        parent: rep,
                         start: cs as u32,
                         end: (ce - 1) as u32,
                     });
                 }
             }
             drop(core_span);
-            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
-            run_cell_jobs3_soa(&mut arena, sph, jobs, &mut members, false, threads)?;
+            drop(rep_ref);
         } else {
             let core_span = omt_obs::obs_span!("sphere_grid/core");
-            let mut connector: Vec<ParentRef> = vec![ParentRef::Source; cells];
+            let mut connector: Vec<NodeId> = vec![PACKED_SOURCE; cells];
             {
                 let nonempty = |c: usize| counts[c] != counts[c + 1];
                 let has_core_children =
@@ -634,11 +732,9 @@ impl SphereGridBuilder {
                 let (conn, job) = wire_cell_deg2_3d_soa(
                     &mut arena,
                     sph,
-                    &grid,
                     0,
                     0,
-                    ParentRef::Source,
-                    0.0,
+                    PACKED_SOURCE,
                     &mut members,
                     cs,
                     ce,
@@ -655,14 +751,13 @@ impl SphereGridBuilder {
                     if cs == ce {
                         continue;
                     }
-                    let rep = pick_rep_soa(
-                        self.rep_strategy,
-                        sph,
-                        &members[cs..ce],
-                        inner_arc_mid(&grid, ring, seg),
-                    );
+                    let rep = next_rep.next().expect("one pre-picked rep per cell");
                     let (pr, ps) = grid.parent(ring, seg).expect("ring >= 1 has a parent");
-                    attach3(&mut arena, rep as usize, connector[cell_index(pr, ps)])?;
+                    attach3(
+                        &mut arena,
+                        rep as usize,
+                        unpack_parent(connector[cell_index(pr, ps)]),
+                    )?;
                     core_delay =
                         core_delay.max(arena.depth_of(rep as usize).expect("just attached"));
                     let has_core_children = match grid.children(ring, seg) {
@@ -675,11 +770,9 @@ impl SphereGridBuilder {
                     let (conn, job) = wire_cell_deg2_3d_soa(
                         &mut arena,
                         sph,
-                        &grid,
                         ring,
-                        seg,
-                        ParentRef::Node(rep as usize),
-                        sph.radius_of(rep),
+                        seg as u32,
+                        rep,
                         &mut members,
                         cs,
                         ce,
@@ -691,9 +784,17 @@ impl SphereGridBuilder {
                 }
             }
             drop(core_span);
-            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
-            run_cell_jobs3_soa(&mut arena, sph, jobs, &mut members, true, threads)?;
+            drop(connector);
         }
+        debug_assert!(next_rep.next().is_none(), "every pre-picked rep consumed");
+        drop(reps);
+        drop(counts);
+
+        {
+            let _cells_span = omt_obs::obs_span!("sphere_grid/cells");
+            run_cell_jobs3_soa(&mut arena, sph, &grid, jobs, &mut members, !deg10, threads)?;
+        }
+        drop(members);
 
         let _finish_span = omt_obs::obs_span!("sphere_grid/finish");
         let tree = arena.into_tree()?;
@@ -880,17 +981,22 @@ fn pick_rep_soa(
 fn wire_cell_deg2_3d_soa(
     arena: &mut TreeArena<'_, 3>,
     sph: SphSlices<'_>,
-    grid: &SphereGrid3,
     ring: u32,
-    seg: u64,
-    rep_ref: ParentRef,
-    rep_radius: f64,
+    seg: u32,
+    rep_ref: NodeId,
     members: &mut [u32],
     cs: usize,
     ce: usize,
     rep: Option<u32>,
     has_core_children: bool,
-) -> Result<(ParentRef, Option<SoaCellJob3>), BuildError> {
+) -> Result<(NodeId, Option<SoaCellJob3>), BuildError> {
+    // The rep's radius is derivable from the packed reference: the source
+    // sits at radius 0, anything else is a point id.
+    let rep_radius = if rep_ref == PACKED_SOURCE {
+        0.0
+    } else {
+        sph.radius_of(rep_ref)
+    };
     let mut end = ce;
     if let Some(r) = rep {
         let sub = &mut members[cs..end];
@@ -902,14 +1008,15 @@ fn wire_cell_deg2_3d_soa(
         0 => Ok((rep_ref, None)),
         1 => {
             let other = members[cs];
-            attach3(arena, other as usize, rep_ref)?;
-            Ok((ParentRef::Node(other as usize), None))
+            attach3(arena, other as usize, unpack_parent(rep_ref))?;
+            Ok((other, None))
         }
         _ => {
             let connector = if has_core_children {
-                let rep_pos = match rep_ref {
-                    ParentRef::Source => omt_geom::Point3::ORIGIN,
-                    ParentRef::Node(r) => sph.get(r as u32).to_cartesian(),
+                let rep_pos = if rep_ref == PACKED_SOURCE {
+                    omt_geom::Point3::ORIGIN
+                } else {
+                    sph.get(rep_ref).to_cartesian()
                 };
                 let pos = members[cs..end]
                     .iter()
@@ -926,8 +1033,8 @@ fn wire_cell_deg2_3d_soa(
                 sub.swap(pos, last);
                 let x = sub[last];
                 end -= 1;
-                attach3(arena, x as usize, rep_ref)?;
-                Some(ParentRef::Node(x as usize))
+                attach3(arena, x as usize, unpack_parent(rep_ref))?;
+                Some(x)
             } else {
                 None
             };
@@ -948,11 +1055,11 @@ fn wire_cell_deg2_3d_soa(
                 sub.swap(pos, last);
                 let s = sub[last];
                 end -= 1;
-                attach3(arena, s as usize, rep_ref)?;
+                attach3(arena, s as usize, unpack_parent(rep_ref))?;
                 job = Some(SoaCellJob3 {
-                    cell: grid.cell(ring, seg),
-                    parent: ParentRef::Node(s as usize),
-                    q: sph.radius_of(s),
+                    ring,
+                    seg,
+                    parent: s,
                     start: cs as u32,
                     end: end as u32,
                 });

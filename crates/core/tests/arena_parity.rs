@@ -23,7 +23,7 @@ use omt_rng::SeedableRng;
 
 const SEEDS: [u64; 2] = [2004, 2005];
 const DEGREES: [u32; 3] = [2, 4, 6];
-const THREADS: [usize; 2] = [1, 4];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// Builds the same sample both ways: an AoS point vector for the legacy
 /// path and an SoA store for the arena path, from identical RNG streams.
@@ -207,34 +207,69 @@ fn degenerate_inputs_match() {
     assert_eq!(legacy3, arena3);
 }
 
-/// Seeded golden radii at n = 1,000,000 on the store path: pins the exact
-/// bit pattern of the tree radius so any numeric drift anywhere in the
-/// million-scale pipeline (sampling, polar conversion, partition,
-/// bisection, arena) is caught, not just drift relative to the legacy
-/// path. Degrees 2 and 4 share a radius because both use the degree-2
-/// core wiring and the binary bisection reaches the same deepest leaf.
+/// Seeded golden radii on the store path: pins the exact bit pattern of
+/// the tree radius at every thread count so any numeric drift anywhere in
+/// the pipeline (sampling, polar conversion, partition, bisection, arena,
+/// the parallel direct fill) is caught, not just drift relative to the
+/// legacy path. Degrees 2 and 4 share a radius because both use the
+/// degree-2 core wiring and the binary bisection reaches the same deepest
+/// leaf.
+fn check_golden_radii(n: usize, expected: [(u32, u64); 3]) {
+    let mut rng = SmallRng::seed_from_u64(2004);
+    let store = PointStore2::sample_region(Point2::ORIGIN, &Disk::unit(), &mut rng, n);
+    for (deg, bits) in expected {
+        for threads in THREADS {
+            let tree = PolarGridBuilder::new()
+                .max_out_degree(deg)
+                .threads(threads)
+                .build_store(&store)
+                .unwrap();
+            assert_eq!(
+                tree.radius().to_bits(),
+                bits,
+                "n {n} deg {deg} threads {threads}: radius drifted to {:?}",
+                tree.radius()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_radii_10k() {
+    check_golden_radii(
+        10_000,
+        [
+            (2, 0x3ff2_bef1_41df_70e8), // 1.1716167996556184
+            (4, 0x3ff2_bef1_41df_70e8), // 1.1716167996556184
+            (6, 0x3ff1_d3ac_fc37_3175), // 1.1141786434337437
+        ],
+    );
+}
+
+#[test]
+#[ignore = "n = 100k; run in release (CI large-n job)"]
+fn golden_radii_100k() {
+    check_golden_radii(
+        100_000,
+        [
+            (2, 0x3ff1_0cb5_b09a_12ed), // 1.0656029604444328
+            (4, 0x3ff1_0cb5_b09a_12ed), // 1.0656029604444328
+            (6, 0x3ff0_9589_4b92_e386), // 1.0365078880406329
+        ],
+    );
+}
+
 #[test]
 #[ignore = "n = 1M; run in release (CI large-n job)"]
 fn golden_radii_1m() {
-    const EXPECTED: [(u32, u64); 3] = [
-        (2, 0x3ff0_62aa_5aa0_2465), // 1.0240882434902912
-        (4, 0x3ff0_62aa_5aa0_2465), // 1.0240882434902912
-        (6, 0x3ff0_2c67_fc12_603a), // 1.0108413549951494
-    ];
-    let mut rng = SmallRng::seed_from_u64(2004);
-    let store = PointStore2::sample_region(Point2::ORIGIN, &Disk::unit(), &mut rng, 1_000_000);
-    for (deg, bits) in EXPECTED {
-        let tree = PolarGridBuilder::new()
-            .max_out_degree(deg)
-            .build_store(&store)
-            .unwrap();
-        assert_eq!(
-            tree.radius().to_bits(),
-            bits,
-            "deg {deg}: radius drifted to {:?}",
-            tree.radius()
-        );
-    }
+    check_golden_radii(
+        1_000_000,
+        [
+            (2, 0x3ff0_62aa_5aa0_2465), // 1.0240882434902912
+            (4, 0x3ff0_62aa_5aa0_2465), // 1.0240882434902912
+            (6, 0x3ff0_2c67_fc12_603a), // 1.0108413549951494
+        ],
+    );
 }
 
 #[test]

@@ -10,21 +10,74 @@
 //! is materialized once, at [`TreeArena::into_tree`] time, when the finished
 //! [`MulticastTree`] needs to own its geometry.
 //!
+//! Every link array holds [`NodeId`] (`u32`) values, so the arena carries
+//! five 4-byte words plus one 8-byte depth word per node; inputs beyond the
+//! `u32` id space are rejected up front by [`check_node_capacity`].
+//!
+//! # Shared-reference parallel fill
+//!
+//! The per-node arrays are stored as atomics (`AtomicU32`, plus `AtomicU64`
+//! holding `f64` bits for depths) and every access uses `Relaxed` ordering.
+//! This is not for synchronization — cross-thread visibility comes entirely
+//! from the spawn/join edges of `std::thread::scope` in `omt-par` — but to
+//! let disjoint regions of one arena be filled concurrently through `&self`
+//! in 100% safe Rust ([`TreeArena::attach_parallel`],
+//! [`TreeArena::attach_to_source_parallel`]). On mainstream hardware a
+//! relaxed atomic load/store compiles to the same plain move as a
+//! non-atomic access, so the sequential path pays nothing. Callers of the
+//! parallel methods own the partitioning argument: concurrent attachments
+//! must target disjoint child sets and never share a parent row. Getting
+//! that wrong produces nondeterministic links — caught by the parity and
+//! validation suites — but never undefined behavior, because no `unsafe`
+//! is involved (`omt-tree` is `#![forbid(unsafe_code)]`).
+//!
 //! The attachment semantics — validation order, error variants, degree
 //! accounting, and the floating-point expressions for delays — are mirrored
 //! from [`crate::TreeBuilder`] operation-for-operation, so a sequence of
 //! attachments performed against a `TreeArena` produces a tree bit-identical
 //! to the same sequence against a `TreeBuilder` over the same coordinates.
 //! The parity suite in `omt-core` (`tests/arena_parity.rs`) holds both paths
-//! to that contract end-to-end.
+//! to that contract end-to-end, across thread counts.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 use omt_geom::Point;
 
 use crate::error::TreeError;
-use crate::tree::{MulticastTree, SOURCE_PARENT};
+use crate::tree::{MulticastTree, NodeId, SOURCE_PARENT};
 
 /// Sentinel for "no node" in the intrusive sibling list.
-const NO_NODE: u32 = u32::MAX;
+const NO_NODE: NodeId = NodeId::MAX;
+
+/// Largest node count a [`TreeArena`] supports: `u32::MAX - 1`.
+///
+/// Ids live in [`NodeId`] (`u32`) with `NodeId::MAX` reserved as the
+/// no-node/source sentinel, and cumulative CSR offsets reach `n`, so `n`
+/// itself must stay strictly below the sentinel.
+pub const MAX_NODES: usize = (u32::MAX - 1) as usize;
+
+/// Checks that `n` nodes fit the arena's `u32` id space.
+///
+/// Grid builders call this before allocating anything so oversized inputs
+/// surface as a typed error instead of wrapped ids.
+///
+/// # Errors
+///
+/// Returns [`TreeError::CapacityExceeded`] if `n > MAX_NODES`.
+pub fn check_node_capacity(n: usize) -> Result<(), TreeError> {
+    if n > MAX_NODES {
+        Err(TreeError::CapacityExceeded {
+            nodes: n,
+            max: MAX_NODES,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn clone_atomic_u32(v: &[AtomicU32]) -> Vec<AtomicU32> {
+    v.iter().map(|a| AtomicU32::new(a.load(Relaxed))).collect()
+}
 
 /// Preallocated, allocation-free-per-attachment tree builder over borrowed
 /// structure-of-arrays coordinates.
@@ -41,6 +94,10 @@ const NO_NODE: u32 = u32::MAX;
 /// [`TreeArena::into_tree`] is derived from the parent array alone, exactly
 /// like [`crate::TreeBuilder::finish`], so the sibling list never influences the
 /// finished tree.
+///
+/// Disjoint regions of one arena can be filled concurrently through shared
+/// references — see the [module docs](crate::arena) for the contract and
+/// [`TreeArena::attach_parallel`] for the entry point.
 ///
 /// # Examples
 ///
@@ -60,20 +117,45 @@ const NO_NODE: u32 = u32::MAX;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TreeArena<'a, const D: usize> {
     source: Point<D>,
     coords: [&'a [f64]; D],
-    parent: Vec<u32>,
-    depth: Vec<f64>,
-    hops: Vec<u32>,
-    out_degree: Vec<u32>,
-    first_child: Vec<u32>,
-    next_sibling: Vec<u32>,
-    source_first_child: u32,
-    source_out_degree: u32,
+    parent: Vec<AtomicU32>,
+    /// Source-to-node delays as `f64` bit patterns (`AtomicU64` so the
+    /// parallel fill can write them through `&self`).
+    depth_bits: Vec<AtomicU64>,
+    hops: Vec<AtomicU32>,
+    out_degree: Vec<AtomicU32>,
+    first_child: Vec<AtomicU32>,
+    next_sibling: Vec<AtomicU32>,
+    source_first_child: AtomicU32,
+    source_out_degree: AtomicU32,
     max_out_degree: Option<u32>,
     attached_count: usize,
+}
+
+impl<const D: usize> Clone for TreeArena<'_, D> {
+    fn clone(&self) -> Self {
+        Self {
+            source: self.source,
+            coords: self.coords,
+            parent: clone_atomic_u32(&self.parent),
+            depth_bits: self
+                .depth_bits
+                .iter()
+                .map(|a| AtomicU64::new(a.load(Relaxed)))
+                .collect(),
+            hops: clone_atomic_u32(&self.hops),
+            out_degree: clone_atomic_u32(&self.out_degree),
+            first_child: clone_atomic_u32(&self.first_child),
+            next_sibling: clone_atomic_u32(&self.next_sibling),
+            source_first_child: AtomicU32::new(self.source_first_child.load(Relaxed)),
+            source_out_degree: AtomicU32::new(self.source_out_degree.load(Relaxed)),
+            max_out_degree: self.max_out_degree,
+            attached_count: self.attached_count,
+        }
+    }
 }
 
 impl<'a, const D: usize> TreeArena<'a, D> {
@@ -83,7 +165,9 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     ///
     /// # Panics
     ///
-    /// Panics if the coordinate slices have unequal lengths.
+    /// Panics if the coordinate slices have unequal lengths, or if `n`
+    /// exceeds [`MAX_NODES`] (builders that accept untrusted sizes should
+    /// call [`check_node_capacity`] first and surface the typed error).
     #[must_use]
     pub fn new(source: Point<D>, coords: [&'a [f64]; D]) -> Self {
         let n = coords[0].len();
@@ -91,17 +175,21 @@ impl<'a, const D: usize> TreeArena<'a, D> {
             coords.iter().all(|c| c.len() == n),
             "coordinate columns must have equal lengths"
         );
+        assert!(
+            check_node_capacity(n).is_ok(),
+            "node count {n} exceeds the arena's u32 id space (max {MAX_NODES})"
+        );
         Self {
             source,
             coords,
-            parent: vec![SOURCE_PARENT; n],
-            depth: vec![0.0; n],
-            hops: vec![0; n],
-            out_degree: vec![0; n],
-            first_child: vec![NO_NODE; n],
-            next_sibling: vec![NO_NODE; n],
-            source_first_child: NO_NODE,
-            source_out_degree: 0,
+            parent: (0..n).map(|_| AtomicU32::new(SOURCE_PARENT)).collect(),
+            depth_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            hops: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            out_degree: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            first_child: (0..n).map(|_| AtomicU32::new(NO_NODE)).collect(),
+            next_sibling: (0..n).map(|_| AtomicU32::new(NO_NODE)).collect(),
+            source_first_child: AtomicU32::new(NO_NODE),
+            source_out_degree: AtomicU32::new(0),
             max_out_degree: None,
             attached_count: 0,
         }
@@ -128,9 +216,24 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     }
 
     /// How many nodes have been attached so far.
+    ///
+    /// The parallel attachment methods do not update this counter (it would
+    /// be the one contended word in an otherwise coordination-free fill);
+    /// after a parallel phase the driver folds in the statically known
+    /// attachment count via [`TreeArena::add_attached`].
     #[must_use]
     pub fn attached_count(&self) -> usize {
         self.attached_count
+    }
+
+    /// Records `n` attachments performed through the parallel methods.
+    ///
+    /// The spanning check in [`TreeArena::into_tree`] trusts this total, so
+    /// callers must pass exactly the number of successful
+    /// [`TreeArena::attach_parallel`] / [`TreeArena::attach_to_source_parallel`]
+    /// calls since the last update.
+    pub fn add_attached(&mut self, n: usize) {
+        self.attached_count += n;
     }
 
     /// Whether node `i` has been attached.
@@ -142,7 +245,7 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     pub fn is_attached(&self, i: usize) -> bool {
         // hops == 0 exactly for unattached nodes: every attachment sets
         // hops >= 1, so no separate `attached` array is carried.
-        self.hops[i] > 0
+        self.hops[i].load(Relaxed) > 0
     }
 
     /// Position of receiver `i`, reassembled from the coordinate columns.
@@ -164,7 +267,8 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     /// Current delay from the source to node `i`, if attached.
     #[must_use]
     pub fn depth_of(&self, i: usize) -> Option<f64> {
-        (self.hops.get(i).copied().unwrap_or(0) > 0).then(|| self.depth[i])
+        (self.hops.get(i).map_or(0, |h| h.load(Relaxed)) > 0)
+            .then(|| f64::from_bits(self.depth_bits[i].load(Relaxed)))
     }
 
     /// Iterates over the children of `parent` (`None` = the source) in
@@ -180,8 +284,8 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     /// Panics if `parent` is `Some(i)` with `i` out of range.
     pub fn children_newest_first(&self, parent: Option<usize>) -> impl Iterator<Item = usize> + '_ {
         let head = match parent {
-            None => self.source_first_child,
-            Some(p) => self.first_child[p],
+            None => self.source_first_child.load(Relaxed),
+            Some(p) => self.first_child[p].load(Relaxed),
         };
         let mut cursor = head;
         core::iter::from_fn(move || {
@@ -189,7 +293,7 @@ impl<'a, const D: usize> TreeArena<'a, D> {
                 return None;
             }
             let node = cursor as usize;
-            cursor = self.next_sibling[node];
+            cursor = self.next_sibling[node].load(Relaxed);
             Some(node)
         })
     }
@@ -215,25 +319,8 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     ///
     /// [`TreeBuilder::attach_to_source`]: crate::TreeBuilder::attach_to_source
     pub fn attach_to_source(&mut self, child: usize) -> Result<(), TreeError> {
-        self.check_index(child)?;
-        if self.is_attached(child) {
-            return Err(TreeError::AlreadyAttached { index: child });
-        }
-        if let Some(bound) = self.max_out_degree {
-            if self.source_out_degree >= bound {
-                return Err(TreeError::DegreeExceeded {
-                    parent: None,
-                    max_out_degree: bound,
-                });
-            }
-        }
-        self.source_out_degree += 1;
-        self.parent[child] = SOURCE_PARENT;
-        self.depth[child] = self.source.distance(&self.point(child));
-        self.hops[child] = 1;
+        self.attach_to_source_parallel(child)?;
         self.attached_count += 1;
-        self.next_sibling[child] = self.source_first_child;
-        self.source_first_child = child as u32;
         Ok(())
     }
 
@@ -248,6 +335,69 @@ impl<'a, const D: usize> TreeArena<'a, D> {
     ///
     /// [`TreeBuilder::attach`]: crate::TreeBuilder::attach
     pub fn attach(&mut self, child: usize, parent: usize) -> Result<(), TreeError> {
+        self.attach_parallel(child, parent)?;
+        self.attached_count += 1;
+        Ok(())
+    }
+
+    /// Attaches node `child` directly to the source through a shared
+    /// reference, for use inside a parallel fill.
+    ///
+    /// Identical to [`TreeArena::attach_to_source`] — same validation order,
+    /// same stores, same floating-point expressions — except that
+    /// [`TreeArena::attached_count`] is not updated (see
+    /// [`TreeArena::add_attached`]). Concurrent callers must partition the
+    /// work so that at most one thread attaches children to the source; the
+    /// grid builders satisfy this by giving the whole ring-0 cell to a
+    /// single job.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreeArena::attach_to_source`].
+    pub fn attach_to_source_parallel(&self, child: usize) -> Result<(), TreeError> {
+        self.check_index(child)?;
+        if self.is_attached(child) {
+            return Err(TreeError::AlreadyAttached { index: child });
+        }
+        if let Some(bound) = self.max_out_degree {
+            if self.source_out_degree.load(Relaxed) >= bound {
+                return Err(TreeError::DegreeExceeded {
+                    parent: None,
+                    max_out_degree: bound,
+                });
+            }
+        }
+        self.source_out_degree
+            .store(self.source_out_degree.load(Relaxed) + 1, Relaxed);
+        self.parent[child].store(SOURCE_PARENT, Relaxed);
+        let d = self.source.distance(&self.point(child));
+        self.depth_bits[child].store(d.to_bits(), Relaxed);
+        self.hops[child].store(1, Relaxed);
+        self.next_sibling[child].store(self.source_first_child.load(Relaxed), Relaxed);
+        self.source_first_child.store(child as u32, Relaxed);
+        Ok(())
+    }
+
+    /// Attaches node `child` under node `parent` through a shared
+    /// reference, for use inside a parallel fill.
+    ///
+    /// Identical to [`TreeArena::attach`] — same validation order, same
+    /// stores, same floating-point expressions — except that
+    /// [`TreeArena::attached_count`] is not updated (see
+    /// [`TreeArena::add_attached`]). Concurrent callers own the
+    /// disjointness argument: no two threads may attach the same child, and
+    /// no two threads may concurrently attach children under the same
+    /// parent (each attachment reads and writes the parent's degree and
+    /// sibling head). The grid builders satisfy both by construction —
+    /// every cell job's write set is its own counting-sort window plus that
+    /// window's already-attached representative, and windows are disjoint.
+    /// A violated contract yields nondeterministic links (caught by the
+    /// parity suites), never undefined behavior.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreeArena::attach`].
+    pub fn attach_parallel(&self, child: usize, parent: usize) -> Result<(), TreeError> {
         self.check_index(child)?;
         self.check_index(parent)?;
         if child == parent {
@@ -260,72 +410,113 @@ impl<'a, const D: usize> TreeArena<'a, D> {
             return Err(TreeError::ParentNotAttached { parent });
         }
         if let Some(bound) = self.max_out_degree {
-            if self.out_degree[parent] >= bound {
+            if self.out_degree[parent].load(Relaxed) >= bound {
                 return Err(TreeError::DegreeExceeded {
                     parent: Some(parent),
                     max_out_degree: bound,
                 });
             }
         }
-        self.out_degree[parent] += 1;
-        self.parent[child] = parent as u32;
-        self.depth[child] = self.depth[parent] + self.point(parent).distance(&self.point(child));
-        self.hops[child] = self.hops[parent] + 1;
-        self.attached_count += 1;
-        self.next_sibling[child] = self.first_child[parent];
-        self.first_child[parent] = child as u32;
+        self.out_degree[parent].store(self.out_degree[parent].load(Relaxed) + 1, Relaxed);
+        self.parent[child].store(parent as u32, Relaxed);
+        let d = f64::from_bits(self.depth_bits[parent].load(Relaxed))
+            + self.point(parent).distance(&self.point(child));
+        self.depth_bits[child].store(d.to_bits(), Relaxed);
+        self.hops[child].store(self.hops[parent].load(Relaxed) + 1, Relaxed);
+        self.next_sibling[child].store(self.first_child[parent].load(Relaxed), Relaxed);
+        self.first_child[parent].store(child as u32, Relaxed);
         Ok(())
     }
 
     /// Finalizes the tree, materializing the owned point vector and the CSR
     /// child layout.
     ///
+    /// Peak memory at finish time is the binding constraint at n in the
+    /// millions, so the conversion is sequenced to keep transients minimal:
+    /// the construction-only sibling list is freed first, the degree counts
+    /// are folded into the CSR offsets and freed, each remaining atomic
+    /// array is converted to its plain twin one at a time, and the child
+    /// scatter uses the offset array itself as its cursor (restored with a
+    /// one-slot shift) instead of a cloned cursor array.
+    ///
     /// # Errors
     ///
     /// Fails with [`TreeError::NotSpanning`] if any node is unattached.
     pub fn into_tree(self) -> Result<MulticastTree<D>, TreeError> {
-        let n = self.parent.len();
-        if self.attached_count != n {
-            let first = self
-                .hops
+        let Self {
+            source,
+            coords,
+            parent,
+            depth_bits,
+            hops,
+            out_degree,
+            first_child,
+            next_sibling,
+            source_out_degree,
+            attached_count,
+            ..
+        } = self;
+        let n = parent.len();
+        if attached_count != n {
+            let first = hops
                 .iter()
-                .position(|&h| h == 0)
+                .position(|h| h.load(Relaxed) == 0)
                 .expect("some node is unattached");
             return Err(TreeError::NotSpanning {
-                unattached: n - self.attached_count,
+                unattached: n - attached_count,
                 first,
             });
         }
-        // The one full point copy of the arena path: the finished tree owns
-        // its geometry.
-        let points: Vec<Point<D>> = (0..n).map(|i| self.point(i)).collect();
+        drop(first_child);
+        drop(next_sibling);
         // Build the CSR children adjacency with a counting pass. Slot 0 is
         // the source, slot i+1 is node i.
         let mut child_offsets = vec![0u32; n + 2];
-        child_offsets[1] = self.source_out_degree;
-        child_offsets[2..n + 2].copy_from_slice(&self.out_degree);
+        child_offsets[1] = source_out_degree.load(Relaxed);
+        for (slot, deg) in child_offsets[2..].iter_mut().zip(&out_degree) {
+            *slot = deg.load(Relaxed);
+        }
+        drop(out_degree);
         for i in 1..child_offsets.len() {
             child_offsets[i] += child_offsets[i - 1];
         }
-        // Start cursor of each slot = offset of its range start.
-        let mut cursor: Vec<u32> = child_offsets[..n + 1].to_vec();
+        let parent_plain: Vec<u32> = parent.iter().map(|a| a.load(Relaxed)).collect();
+        drop(parent);
+        let depth: Vec<f64> = depth_bits
+            .iter()
+            .map(|a| f64::from_bits(a.load(Relaxed)))
+            .collect();
+        drop(depth_bits);
+        let hops_plain: Vec<u32> = hops.iter().map(|a| a.load(Relaxed)).collect();
+        drop(hops);
+        // The one full point copy of the arena path: the finished tree owns
+        // its geometry.
+        let points: Vec<Point<D>> = (0..n)
+            .map(|i| Point::new(core::array::from_fn(|d| coords[d][i])))
+            .collect();
+        // Scatter children using child_offsets[0..=n] as in-place cursors.
         let mut child_list = vec![0u32; n];
         for child in 0..n {
-            let p = self.parent[child];
+            let p = parent_plain[child];
             let slot = if p == SOURCE_PARENT {
                 0
             } else {
                 p as usize + 1
             };
-            child_list[cursor[slot] as usize] = child as u32;
-            cursor[slot] += 1;
+            child_list[child_offsets[slot] as usize] = child as u32;
+            child_offsets[slot] += 1;
         }
+        // After the scatter, cursor[slot] == original offsets[slot + 1] for
+        // every slot in 0..=n, so shifting right by one restores the offset
+        // array exactly, without a cloned cursor.
+        child_offsets.copy_within(0..n + 1, 1);
+        child_offsets[0] = 0;
         Ok(MulticastTree {
-            source: self.source,
+            source,
             points,
-            parent: self.parent,
-            depth: self.depth,
-            hops: self.hops,
+            parent: parent_plain,
+            depth,
+            hops: hops_plain,
             child_offsets,
             child_list,
         })
@@ -451,6 +642,73 @@ mod tests {
         assert_eq!(arena.parent.as_ptr(), parent_ptr);
         assert_eq!(arena.next_sibling.as_ptr(), sibling_ptr);
         assert_eq!(arena.attached_count(), 32);
+    }
+
+    /// The parallel attachment methods, run from actual threads over
+    /// disjoint child windows, produce a tree bit-identical to the same
+    /// attachments performed sequentially.
+    #[test]
+    fn parallel_fill_matches_sequential_bit_for_bit() {
+        let (xs, ys) = columns(64);
+        // Sequential reference: 4 source children, each the parent of a
+        // window of 15 descendants attached as a chain-of-fans.
+        let windows: Vec<(usize, Vec<usize>)> = (0..4)
+            .map(|w| (w, ((4 + w * 15)..(4 + (w + 1) * 15)).collect()))
+            .collect();
+        let build_sequential = || {
+            let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]).max_out_degree(8);
+            for w in 0..4 {
+                arena.attach_to_source(w).unwrap();
+            }
+            for (w, members) in &windows {
+                for (j, &m) in members.iter().enumerate() {
+                    let parent = if j == 0 { *w } else { members[(j - 1) / 2] };
+                    arena.attach(m, parent).unwrap();
+                }
+            }
+            arena.into_tree().unwrap()
+        };
+        let sequential = build_sequential();
+
+        let mut arena = TreeArena::new(Point2::ORIGIN, [&xs, &ys]).max_out_degree(8);
+        for w in 0..4 {
+            arena.attach_to_source(w).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for (w, members) in &windows {
+                let arena = &arena;
+                scope.spawn(move || {
+                    for (j, &m) in members.iter().enumerate() {
+                        let parent = if j == 0 { *w } else { members[(j - 1) / 2] };
+                        arena.attach_parallel(m, parent).unwrap();
+                    }
+                });
+            }
+        });
+        arena.add_attached(60);
+        assert_eq!(arena.attached_count(), 64);
+        let parallel = arena.into_tree().unwrap();
+        assert_eq!(parallel, sequential);
+        for i in 0..64 {
+            assert_eq!(parallel.depth(i).to_bits(), sequential.depth(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn capacity_guard_rejects_oversized_inputs() {
+        assert_eq!(check_node_capacity(0), Ok(()));
+        assert_eq!(check_node_capacity(MAX_NODES), Ok(()));
+        // One past the cap, and the sentinel value itself, are both typed
+        // errors — never a wrapped id.
+        for n in [MAX_NODES + 1, u32::MAX as usize, u32::MAX as usize + 7] {
+            assert_eq!(
+                check_node_capacity(n),
+                Err(TreeError::CapacityExceeded {
+                    nodes: n,
+                    max: MAX_NODES
+                })
+            );
+        }
     }
 
     #[test]

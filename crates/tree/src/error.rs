@@ -42,6 +42,19 @@ pub enum TreeError {
         /// The first unattached node index, for debugging.
         first: usize,
     },
+    /// The requested node count exceeds the arena's `u32` id space.
+    ///
+    /// [`TreeArena`](crate::TreeArena) stores every link — parents, sibling
+    /// pointers, CSR offsets — as [`crate::NodeId`] (`u32`), with
+    /// `u32::MAX` reserved as the no-node/source sentinel. Inputs beyond
+    /// that are rejected up front with this typed error instead of
+    /// wrapping ids.
+    CapacityExceeded {
+        /// The requested number of nodes.
+        nodes: usize,
+        /// The largest supported node count.
+        max: usize,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -67,6 +80,10 @@ impl fmt::Display for TreeError {
             Self::NotSpanning { unattached, first } => write!(
                 f,
                 "tree is not spanning: {unattached} unattached nodes (first: {first})"
+            ),
+            Self::CapacityExceeded { nodes, max } => write!(
+                f,
+                "{nodes} nodes exceed the arena's u32 id space (max {max})"
             ),
         }
     }
@@ -164,6 +181,11 @@ mod tests {
             TreeError::NotSpanning {
                 unattached: 3,
                 first: 0,
+            }
+            .to_string(),
+            TreeError::CapacityExceeded {
+                nodes: 1 << 40,
+                max: u32::MAX as usize - 1,
             }
             .to_string(),
         ];

@@ -56,11 +56,11 @@ pub mod metrics;
 pub mod svg;
 mod tree;
 
-pub use arena::TreeArena;
+pub use arena::{check_node_capacity, TreeArena, MAX_NODES};
 pub use builder::TreeBuilder;
 pub use error::{TreeError, ValidationError};
 pub use forest::validate_parent_forest;
 pub use iter::{Bfs, Dfs, PathToSource};
 pub use metrics::TreeMetrics;
 pub use svg::SvgOptions;
-pub use tree::{MulticastTree, ParentRef};
+pub use tree::{MulticastTree, NodeId, ParentRef};

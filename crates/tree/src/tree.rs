@@ -5,8 +5,21 @@ use omt_geom::Point;
 use crate::error::ValidationError;
 use crate::iter::{Bfs, Dfs, PathToSource};
 
+/// Compact node identifier: the element type of every link array in this
+/// crate — parents, sibling pointers, CSR offsets and child lists.
+///
+/// Node ids are `u32` rather than `usize`: a tree over `n` receivers stores
+/// five to six link words per node, so halving the id width halves the
+/// dominant memory term at million-scale and doubles the links that fit a
+/// cache line. The value `NodeId::MAX` is reserved as the no-node/source
+/// sentinel, capping supported inputs at `u32::MAX - 1` nodes — enforced
+/// up front by [`check_node_capacity`](crate::check_node_capacity) with a
+/// typed [`TreeError::CapacityExceeded`](crate::TreeError) rather than a
+/// silent wrap.
+pub type NodeId = u32;
+
 /// Sentinel parent index meaning "the source".
-pub(crate) const SOURCE_PARENT: u32 = u32::MAX;
+pub(crate) const SOURCE_PARENT: NodeId = NodeId::MAX;
 
 /// The parent of a node: either the multicast source or another receiver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -48,6 +48,13 @@ OMT_THREADS=4 cargo test -q --release --offline -p omt-geom --test hgrid_parity
 echo "==> OMT_THREADS=4 cargo test -q --release --offline -p omt-proto"
 OMT_THREADS=4 cargo test -q --release --offline -p omt-proto
 
+# API docs are part of the contract: the library crates deny
+# missing_docs, and this build additionally fails on any rustdoc
+# warning (broken intra-doc links, bad code fences). CI's docs job runs
+# the same command plus the doctests.
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --offline --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
